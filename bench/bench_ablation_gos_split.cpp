@@ -1,0 +1,55 @@
+// A1 — ablation: GOS per-user split policy.
+//
+// The GOS objective fixes only aggregate computer loads; any per-user
+// split achieving them is globally optimal. Figure 5's unfair GOS is one
+// such split. This ablation compares GreedyFill (reproduces the paper's
+// unfairness) against Uniform (identical fractions for everyone) across
+// the utilization sweep: both attain the same overall response time; only
+// the fairness differs — i.e. GOS's unfairness is a *choice of split*,
+// not a price of optimality.
+#include <cstdio>
+
+#include "common.hpp"
+#include "schemes/gos.hpp"
+#include "schemes/metrics.hpp"
+#include "workload/configs.hpp"
+
+int main() {
+  using namespace nashlb;
+  bench::banner("A1", "Ablation: GOS split policy (GreedyFill vs Uniform)",
+                "Table 1 system, 10 users, rho = 10%..90%");
+
+  const schemes::GlobalOptimalScheme greedy(schemes::GosSplit::GreedyFill);
+  const schemes::GlobalOptimalScheme uniform(schemes::GosSplit::Uniform);
+
+  util::Table table({"utilization", "D greedy", "D uniform", "D diff",
+                     "fairness greedy", "fairness uniform"});
+  auto csv = bench::csv("ablation_gos_split",
+                        {"utilization", "d_greedy", "d_uniform",
+                         "fair_greedy", "fair_uniform"});
+  for (int pct = 10; pct <= 90; pct += 10) {
+    const double rho = pct / 100.0;
+    const core::Instance inst = workload::table1_instance(rho);
+    const schemes::Metrics mg = schemes::evaluate(inst, greedy.solve(inst));
+    const schemes::Metrics mu = schemes::evaluate(inst, uniform.solve(inst));
+    table.add_row({util::format_percent(rho),
+                   bench::num(mg.overall_response_time),
+                   bench::num(mu.overall_response_time),
+                   bench::num(mg.overall_response_time -
+                              mu.overall_response_time),
+                   util::format_fixed(mg.fairness, 3),
+                   util::format_fixed(mu.fairness, 3)});
+    if (csv) {
+      csv->add_row({util::format_fixed(rho, 2),
+                    bench::num(mg.overall_response_time),
+                    bench::num(mu.overall_response_time),
+                    util::format_fixed(mg.fairness, 4),
+                    util::format_fixed(mu.fairness, 4)});
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "conclusion: the overall optimum is split-invariant (D diff ~ 0);\n"
+      "fairness is not — the paper's unfair GOS is one admissible split.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// V2 — the NASH *distributed* algorithm (§3) as a message-passing ring
+// protocol, validated against the in-memory dynamics and profiled for
+// deployment cost.
+//
+// Part 1: with exact run-queue monitoring the ring protocol must perform
+// the identical sequence of best replies — same rounds, same equilibrium.
+// Part 2: simulated wall-clock convergence latency and message count as
+// the one-way link latency varies (the decentralization price the paper
+// argues is worth paying).
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/dynamics.hpp"
+#include "distributed/ring_protocol.hpp"
+#include "workload/configs.hpp"
+
+int main() {
+  using namespace nashlb;
+  bench::banner("V2", "Distributed ring protocol vs in-memory dynamics",
+                "Table 1 system, 10 users, rho = 60%, eps = 1e-4");
+
+  const core::Instance inst = workload::table1_instance(0.6);
+  const double eps = 1e-4;
+
+  core::DynamicsOptions dopts;
+  dopts.tolerance = eps;
+  const core::DynamicsResult mem = core::best_reply_dynamics(inst, dopts);
+
+  distributed::RingOptions ropts;
+  ropts.tolerance = eps;
+  const distributed::RingResult ring =
+      distributed::run_ring_protocol(inst, ropts);
+
+  std::printf("in-memory dynamics : %zu rounds, converged=%s\n",
+              mem.iterations, mem.converged ? "yes" : "no");
+  std::printf("ring protocol      : %zu rounds, converged=%s, "
+              "%zu messages, %.4f simulated seconds\n",
+              ring.rounds, ring.converged ? "yes" : "no", ring.messages,
+              ring.finish_time);
+  std::printf("profiles identical : %s (max |diff| = %.2e)\n\n",
+              ring.profile.max_difference(mem.profile) < 1e-12 ? "yes"
+                                                               : "NO",
+              ring.profile.max_difference(mem.profile));
+
+  util::Table table({"link latency (s)", "rounds", "messages",
+                     "convergence latency (s)"});
+  auto csv = bench::csv("distributed_ring",
+                        {"link_latency", "rounds", "messages",
+                         "finish_time"});
+  for (double latency : {1e-4, 1e-3, 1e-2, 1e-1}) {
+    distributed::RingOptions o;
+    o.tolerance = eps;
+    o.link_latency = latency;
+    const distributed::RingResult r =
+        distributed::run_ring_protocol(inst, o);
+    table.add_row({bench::num(latency), std::to_string(r.rounds),
+                   std::to_string(r.messages), bench::num(r.finish_time)});
+    if (csv) {
+      csv->add_row({bench::num(latency), std::to_string(r.rounds),
+                    std::to_string(r.messages),
+                    bench::num(r.finish_time)});
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "the equilibrium (and round count) is latency-invariant; only the\n"
+      "wall-clock convergence time scales with the network.\n");
+  return 0;
+}

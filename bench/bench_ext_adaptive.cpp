@@ -1,0 +1,91 @@
+// A12 — extension: dynamic load balancing (the paper's future-work
+// direction), evaluated end to end.
+//
+// A day of diurnal drift on the Table 1 system: total demand swings
+// between 35% and 80% utilization in 8 segments. Three regimes:
+//   * static   — the NASH equilibrium of the *nominal* (60%) load,
+//                frozen for the whole day;
+//   * adaptive — the online controller (measured utilizations + OPTIMAL
+//                best replies every 2 simulated seconds, round-robin);
+//   * oracle   — analytic equilibrium re-solved exactly for each segment
+//                (the unachievable lower bound: it knows the schedule).
+// Reported: mean response per segment and overall.
+#include <cstdio>
+
+#include "adaptive/online.hpp"
+#include "common.hpp"
+#include "core/cost.hpp"
+#include "core/dynamics.hpp"
+#include "workload/configs.hpp"
+
+int main() {
+  using namespace nashlb;
+  bench::banner("A12", "Extension: dynamic (online) load balancing",
+                "Table 1 system, 10 users, diurnal drift 35%..80%, "
+                "8 segments x 500 s");
+
+  const std::vector<double> mu = workload::table1_rates();
+  const std::vector<double> util{0.35, 0.5, 0.65, 0.8, 0.7, 0.55,
+                                 0.45, 0.6};
+  adaptive::RateSchedule sched;
+  for (std::size_t k = 0; k < util.size(); ++k) {
+    sched.start_times.push_back(500.0 * static_cast<double>(k));
+    sched.phi.push_back(workload::table1_instance(util[k]).phi);
+  }
+
+  // Static baseline: equilibrium of the nominal 60% load.
+  core::DynamicsOptions dopts;
+  dopts.tolerance = 1e-8;
+  const core::Instance nominal = workload::table1_instance(0.6);
+  const core::StrategyProfile frozen =
+      core::best_reply_dynamics(nominal, dopts).profile;
+
+  adaptive::OnlineOptions opts;
+  opts.horizon = 4000.0;
+  opts.update_period = 2.0;
+  opts.window = 30.0;
+  opts.report_period = 500.0;  // one report per segment
+  const adaptive::OnlineResult adaptive_run =
+      adaptive::simulate_online(mu, sched, frozen, opts);
+  adaptive::OnlineOptions off = opts;
+  off.adapt = false;
+  const adaptive::OnlineResult static_run =
+      adaptive::simulate_online(mu, sched, frozen, off);
+
+  util::Table table({"segment", "utilization", "static D (s)",
+                     "adaptive D (s)", "oracle D (s)"});
+  auto csv = bench::csv("ext_adaptive",
+                        {"segment", "utilization", "static_d",
+                         "adaptive_d", "oracle_d"});
+  for (std::size_t k = 0; k < util.size(); ++k) {
+    const core::Instance seg = workload::table1_instance(util[k]);
+    const double oracle = core::overall_response_time(
+        seg, core::best_reply_dynamics(seg, dopts).profile);
+    const double stat = k < static_run.windows.size()
+                            ? static_run.windows[k].mean_response
+                            : 0.0;
+    const double adap = k < adaptive_run.windows.size()
+                            ? adaptive_run.windows[k].mean_response
+                            : 0.0;
+    table.add_row({std::to_string(k + 1), util::format_percent(util[k]),
+                   bench::num(stat), bench::num(adap),
+                   bench::num(oracle)});
+    if (csv) {
+      csv->add_row({std::to_string(k + 1), util::format_fixed(util[k], 2),
+                    bench::num(stat), bench::num(adap),
+                    bench::num(oracle)});
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("overall mean response: static %s s, adaptive %s s "
+              "(%zu online strategy updates)\n",
+              bench::num(static_run.overall_mean_response).c_str(),
+              bench::num(adaptive_run.overall_mean_response).c_str(),
+              adaptive_run.strategy_updates);
+  std::printf(
+      "reading: the online controller tracks each segment's equilibrium\n"
+      "within its measurement noise, while the frozen nominal profile\n"
+      "pays most at the load peaks — the paper's 'initiated periodically\n"
+      "or when the system parameters are changed' made concrete.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// A4 — extension: cooperative Nash Bargaining (NBS) scheme vs the
+// paper's lineup (the §5 "future work" direction; companion APDCM'02
+// paper).
+//
+// NBS maximizes prod_j 1/D_j (proportional fairness). Expected placement:
+// overall response time between GOS (which ignores fairness) and PS, with
+// fairness at or near 1 — cooperation buys fairness at a small price in
+// total efficiency relative to GOS, while the noncooperative NASH point
+// sits close to it.
+#include <cstdio>
+
+#include "common.hpp"
+#include "schemes/metrics.hpp"
+#include "schemes/nbs.hpp"
+#include "schemes/registry.hpp"
+#include "workload/configs.hpp"
+
+int main() {
+  using namespace nashlb;
+  bench::banner("A4", "Extension: cooperative NBS scheme",
+                "Table 1 system, 10 users, rho = 10%..90%");
+
+  std::vector<schemes::SchemePtr> lineup = schemes::paper_schemes(1e-6);
+  lineup.push_back(std::make_shared<schemes::NbsScheme>());
+
+  util::Table ert({"utilization", "NASH", "GOS", "IOS", "PS", "NBS"});
+  util::Table fair({"utilization", "NASH", "GOS", "IOS", "PS", "NBS"});
+  auto csv = bench::csv("ext_nbs", {"utilization", "scheme",
+                                    "overall_response_time", "fairness"});
+  for (int pct = 10; pct <= 90; pct += 20) {
+    const double rho = pct / 100.0;
+    const core::Instance inst = workload::table1_instance(rho);
+    std::vector<std::string> ert_row{util::format_percent(rho)};
+    std::vector<std::string> fair_row{util::format_percent(rho)};
+    for (const schemes::SchemePtr& scheme : lineup) {
+      const schemes::Metrics m =
+          schemes::evaluate(inst, scheme->solve(inst));
+      ert_row.push_back(bench::num(m.overall_response_time));
+      fair_row.push_back(util::format_fixed(m.fairness, 3));
+      if (csv) {
+        csv->add_row({util::format_fixed(rho, 2), scheme->name(),
+                      bench::num(m.overall_response_time),
+                      util::format_fixed(m.fairness, 4)});
+      }
+    }
+    ert.add_row(ert_row);
+    fair.add_row(fair_row);
+  }
+  std::printf("expected response time (sec):\n%s\n", ert.str().c_str());
+  std::printf("fairness index:\n%s\n", fair.str().c_str());
+  return 0;
+}

@@ -1,0 +1,56 @@
+// A8 — extension: Stackelberg (leader/follower) load balancing, the
+// alternative game-theoretic model from the paper's "Past results"
+// (Roughgarden, STOC 2001).
+//
+// Sweeps the centrally-controlled share beta from 0 (pure Wardrop = IOS)
+// to 1 (pure optimum = GOS) on the Table 1 system and reports the induced
+// overall response time, its ratio to the optimum, and Roughgarden's
+// 1/beta guarantee — situating the paper's NASH point (decentralized,
+// per-user) against the leader/follower spectrum.
+#include <cstdio>
+
+#include "common.hpp"
+#include "schemes/metrics.hpp"
+#include "schemes/nash.hpp"
+#include "schemes/stackelberg.hpp"
+#include "workload/configs.hpp"
+
+int main() {
+  using namespace nashlb;
+  bench::banner("A8", "Extension: Stackelberg (LLF) leader share sweep",
+                "Table 1 system, rho = 60%; beta = leader's flow share");
+
+  const core::Instance inst = workload::table1_instance(0.6);
+  const double d_opt = schemes::stackelberg_response_time(
+      inst, schemes::stackelberg_llf(inst, 1.0));
+  const schemes::Metrics nash = schemes::evaluate(
+      inst, schemes::NashScheme(core::Initialization::Proportional, 1e-6)
+                .solve(inst));
+
+  util::Table table({"beta", "induced D (s)", "D / D_opt",
+                     "1/beta bound"});
+  auto csv = bench::csv("ext_stackelberg",
+                        {"beta", "induced_d", "ratio_to_opt"});
+  for (double beta : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9,
+                      1.0}) {
+    const double d = schemes::stackelberg_response_time(
+        inst, schemes::stackelberg_llf(inst, beta));
+    table.add_row({util::format_fixed(beta, 1), bench::num(d),
+                   util::format_fixed(d / d_opt, 4),
+                   beta > 0.0 ? util::format_fixed(1.0 / beta, 2) : "-"});
+    if (csv) {
+      csv->add_row({util::format_fixed(beta, 2), bench::num(d),
+                    util::format_fixed(d / d_opt, 6)});
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("for reference, the paper's NASH point: D = %s s "
+              "(D/D_opt = %.4f), fully decentralized (beta = 0 control).\n",
+              bench::num(nash.overall_response_time).c_str(),
+              nash.overall_response_time / d_opt);
+  std::printf(
+      "reading: a modest centrally-controlled share closes most of the\n"
+      "Wardrop-vs-optimal gap; the per-user NASH equilibrium achieves a\n"
+      "comparable ratio with no central control at all.\n");
+  return 0;
+}

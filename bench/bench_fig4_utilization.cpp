@@ -1,0 +1,60 @@
+// F4 — Figure 4: "Expected response time and fairness index vs system
+// utilization" (§4.2.2).
+//
+// Table 1 system, 10 users, utilization swept 10%..90%. For each of the
+// paper's four schemes this prints the overall expected response time and
+// Jain's fairness index. Expected shape (paper):
+//   * low load (10-40%): all schemes except PS nearly identical;
+//   * medium load: NASH close to GOS (within ~10%), ~30% better than PS;
+//   * high load: IOS ~ PS, both above NASH ~ GOS;
+//   * fairness: PS = IOS = 1 everywhere, NASH ~ 1, GOS degrades.
+#include <cstdio>
+
+#include "common.hpp"
+#include "schemes/metrics.hpp"
+#include "schemes/registry.hpp"
+#include "workload/configs.hpp"
+
+int main() {
+  using namespace nashlb;
+  bench::banner("F4",
+                "Figure 4: response time & fairness vs utilization",
+                "Table 1 system, 10 users, rho = 10%..90%");
+
+  const std::vector<schemes::SchemePtr> lineup =
+      schemes::paper_schemes(1e-6);
+
+  util::Table ert({"utilization", "NASH", "GOS", "IOS", "PS"});
+  util::Table fair({"utilization", "NASH", "GOS", "IOS", "PS"});
+  auto csv = bench::csv("fig4_utilization",
+                        {"utilization", "scheme", "overall_response_time",
+                         "fairness"});
+
+  for (int pct = 10; pct <= 90; pct += 10) {
+    const double rho = pct / 100.0;
+    const core::Instance inst = workload::table1_instance(rho);
+    std::vector<std::string> ert_row{util::format_percent(rho)};
+    std::vector<std::string> fair_row{util::format_percent(rho)};
+    for (const schemes::SchemePtr& scheme : lineup) {
+      const schemes::Metrics m =
+          schemes::evaluate(inst, scheme->solve(inst));
+      ert_row.push_back(bench::num(m.overall_response_time));
+      fair_row.push_back(util::format_fixed(m.fairness, 3));
+      if (csv) {
+        csv->add_row({util::format_fixed(rho, 2), scheme->name(),
+                      bench::num(m.overall_response_time),
+                      util::format_fixed(m.fairness, 4)});
+      }
+    }
+    ert.add_row(ert_row);
+    fair.add_row(fair_row);
+  }
+
+  std::printf("expected response time (sec):\n%s\n", ert.str().c_str());
+  std::printf("fairness index:\n%s\n", fair.str().c_str());
+  std::printf(
+      "paper's shape: see header comment; EXPERIMENTS.md F4 records the\n"
+      "paper-vs-measured comparison including the 50%%-load anchor\n"
+      "(NASH ~30%% under PS, ~7%% over GOS).\n");
+  return 0;
+}

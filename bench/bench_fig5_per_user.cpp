@@ -1,0 +1,63 @@
+// F5 — Figure 5: "Expected response time for each user" (§4.2.2).
+//
+// Table 1 system at 60% utilization, the 10-user population. Expected
+// shape (paper): PS and IOS give every user the same time (PS higher);
+// GOS spreads users widely (its overall optimum sacrifices individuals);
+// NASH gives each user (nearly) the same, individually minimal, time.
+#include <algorithm>
+#include <cstdio>
+
+#include "common.hpp"
+#include "schemes/metrics.hpp"
+#include "schemes/registry.hpp"
+#include "workload/configs.hpp"
+
+int main() {
+  using namespace nashlb;
+  bench::banner("F5", "Figure 5: expected response time per user",
+                "Table 1 system, 10 users, utilization 60%");
+
+  const core::Instance inst = workload::table1_instance(0.6);
+  const std::vector<schemes::SchemePtr> lineup =
+      schemes::paper_schemes(1e-6);
+
+  std::vector<schemes::Metrics> metrics;
+  metrics.reserve(lineup.size());
+  for (const schemes::SchemePtr& scheme : lineup) {
+    metrics.push_back(schemes::evaluate(inst, scheme->solve(inst)));
+  }
+
+  util::Table table({"user", "phi_j (jobs/s)", "NASH", "GOS", "IOS", "PS"});
+  auto csv = bench::csv("fig5_per_user",
+                        {"user", "phi", "scheme", "response_time"});
+  for (std::size_t j = 0; j < inst.num_users(); ++j) {
+    std::vector<std::string> row{std::to_string(j + 1),
+                                 util::format_fixed(inst.phi[j], 2)};
+    for (std::size_t k = 0; k < lineup.size(); ++k) {
+      row.push_back(bench::num(metrics[k].user_response_times[j]));
+      if (csv) {
+        csv->add_row({std::to_string(j + 1),
+                      util::format_fixed(inst.phi[j], 3),
+                      lineup[k]->name(),
+                      bench::num(metrics[k].user_response_times[j])});
+      }
+    }
+    table.add_row(row);
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  for (std::size_t k = 0; k < lineup.size(); ++k) {
+    double lo = metrics[k].user_response_times[0];
+    double hi = lo;
+    for (double d : metrics[k].user_response_times) {
+      lo = std::min(lo, d);
+      hi = std::max(hi, d);
+    }
+    std::printf("%-6s  max/min user time = %.3f, fairness = %.3f\n",
+                lineup[k]->name().c_str(), hi / lo, metrics[k].fairness);
+  }
+  std::printf(
+      "\npaper's shape: PS and IOS flat (PS higher); GOS wildly uneven;\n"
+      "NASH flat at each user's individual optimum.\n");
+  return 0;
+}

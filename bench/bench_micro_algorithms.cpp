@@ -1,0 +1,128 @@
+// A5a — timing micro-benchmarks for the algorithmic kernels
+// (google-benchmark): the OPTIMAL best reply (O(n log n), Theorem 2.2's
+// complexity remark), one full best-reply round, the water-filling
+// allocators, the simplex projection and the fairness index.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/best_reply.hpp"
+#include "core/dynamics.hpp"
+#include "core/simplex.hpp"
+#include "core/waterfill.hpp"
+#include "stats/fairness.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace nashlb;
+
+std::vector<double> random_rates(std::size_t n, std::uint64_t seed) {
+  stats::Xoshiro256 rng(seed);
+  std::vector<double> mu(n);
+  for (double& m : mu) m = 1.0 + 99.0 * rng.next_double();
+  return mu;
+}
+
+core::Instance make_instance(std::size_t n, std::size_t m,
+                             double util = 0.6) {
+  core::Instance inst;
+  inst.mu = random_rates(n, 42);
+  const double cap =
+      std::accumulate(inst.mu.begin(), inst.mu.end(), 0.0);
+  inst.phi.assign(m, util * cap / static_cast<double>(m));
+  return inst;
+}
+
+void BM_WaterfillSqrt(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> mu = random_rates(n, 1);
+  const double demand =
+      0.6 * std::accumulate(mu.begin(), mu.end(), 0.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::waterfill_sqrt(mu, demand));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_WaterfillSqrt)->RangeMultiplier(4)->Range(16, 4096)->Complexity();
+
+void BM_WaterfillLinear(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> mu = random_rates(n, 2);
+  const double demand =
+      0.6 * std::accumulate(mu.begin(), mu.end(), 0.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::waterfill_linear(mu, demand));
+  }
+}
+BENCHMARK(BM_WaterfillLinear)->RangeMultiplier(4)->Range(16, 4096);
+
+void BM_BestReply(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const core::Instance inst = make_instance(n, 10);
+  const core::StrategyProfile s = core::StrategyProfile::proportional(inst);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::best_reply(inst, s, 0));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BestReply)->RangeMultiplier(4)->Range(16, 4096)->Complexity();
+
+void BM_DynamicsRound(benchmark::State& state) {
+  // Cost of one full round of m best replies on an n-computer system.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  const core::Instance inst = make_instance(n, m);
+  for (auto _ : state) {
+    core::DynamicsOptions opts;
+    opts.tolerance = 0.0;   // never satisfied
+    opts.max_iterations = 1;  // exactly one round
+    benchmark::DoNotOptimize(core::best_reply_dynamics(inst, opts));
+  }
+}
+BENCHMARK(BM_DynamicsRound)
+    ->Args({16, 4})
+    ->Args({16, 16})
+    ->Args({16, 64})
+    ->Args({256, 16})
+    ->Args({1024, 16});
+
+void BM_NashToConvergence(benchmark::State& state) {
+  // End-to-end equilibrium computation on the paper's system scale.
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const core::Instance inst = make_instance(16, m);
+  for (auto _ : state) {
+    core::DynamicsOptions opts;
+    opts.tolerance = 1e-6;
+    opts.max_iterations = 5000;
+    benchmark::DoNotOptimize(core::best_reply_dynamics(inst, opts));
+  }
+}
+BENCHMARK(BM_NashToConvergence)->Arg(4)->Arg(10)->Arg(32);
+
+void BM_SimplexProjection(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  stats::Xoshiro256 rng(3);
+  std::vector<double> v(n);
+  for (double& x : v) x = 4.0 * (rng.next_double() - 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::project_to_simplex(v));
+  }
+}
+BENCHMARK(BM_SimplexProjection)->RangeMultiplier(8)->Range(16, 8192);
+
+void BM_FairnessIndex(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  stats::Xoshiro256 rng(4);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.next_double_open();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::fairness_index(v));
+  }
+}
+BENCHMARK(BM_FairnessIndex)->Arg(10)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// T1 — Table 1: "System configuration" (§4.2.2).
+//
+// Reproduces the input table that defines the heterogeneous system used by
+// the utilization, per-user and convergence experiments, plus the derived
+// quantities (total capacity, the 10-user arrival split) that the other
+// benches consume.
+#include <cstdio>
+
+#include "common.hpp"
+#include "workload/configs.hpp"
+
+int main() {
+  using namespace nashlb;
+  bench::banner("T1", "Table 1: system configuration",
+                "16 heterogeneous computers in 4 speed classes");
+
+  util::Table table({"Relative processing rate", "Number of computers",
+                     "Processing rate (jobs/sec)"});
+  auto csv = bench::csv("table1_system",
+                        {"relative_rate", "count", "rate_jobs_per_sec"});
+  for (const workload::SpeedClass& cls : workload::table1_classes()) {
+    table.add_row({util::format_fixed(cls.relative_rate, 0),
+                   std::to_string(cls.count),
+                   util::format_fixed(cls.rate, 0)});
+    if (csv) {
+      csv->add_row({bench::num(cls.relative_rate),
+                    std::to_string(cls.count), bench::num(cls.rate)});
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  const std::vector<double> mu = workload::table1_rates();
+  double cap = 0.0;
+  for (double m : mu) cap += m;
+  std::printf("total computers: %zu, aggregate capacity: %.0f jobs/sec\n",
+              mu.size(), cap);
+
+  std::printf(
+      "\nuser population (10 users; arrival fractions from the journal\n"
+      "version of the paper, JPDC 65(9) 2005 — the workshop paper omits "
+      "them):\n  ");
+  for (double q : workload::default_user_fractions()) {
+    std::printf("%.2f ", q);
+  }
+  std::printf("\n");
+  return 0;
+}

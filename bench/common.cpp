@@ -1,0 +1,36 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+namespace nashlb::bench {
+
+void banner(const std::string& id, const std::string& title,
+            const std::string& setup) {
+  std::printf("==============================================================\n");
+  std::printf("%s  %s\n", id.c_str(), title.c_str());
+  std::printf("setup: %s\n", setup.c_str());
+  std::printf("==============================================================\n");
+}
+
+std::unique_ptr<util::CsvWriter> csv(
+    const std::string& name, const std::vector<std::string>& header) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  if (ec) {
+    std::fprintf(stderr, "warning: cannot create bench_results/: %s\n",
+                 ec.message().c_str());
+    return nullptr;
+  }
+  try {
+    return std::make_unique<util::CsvWriter>("bench_results/" + name + ".csv",
+                                             header);
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "warning: %s\n", ex.what());
+    return nullptr;
+  }
+}
+
+std::string num(double v) { return util::format_sig(v, 4); }
+
+}  // namespace nashlb::bench

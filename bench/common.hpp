@@ -1,0 +1,26 @@
+// Shared scaffolding for the figure/table reproduction binaries.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace nashlb::bench {
+
+/// Prints the standard experiment banner: id, paper artifact, setup.
+void banner(const std::string& id, const std::string& title,
+            const std::string& setup);
+
+/// Opens bench_results/<name>.csv (creating the directory if needed) and
+/// returns the writer; returns nullptr (with a warning on stderr) if the
+/// directory cannot be created — benches still print to stdout.
+std::unique_ptr<util::CsvWriter> csv(const std::string& name,
+                                     const std::vector<std::string>& header);
+
+/// Formats a double with 4 significant digits (bench table convention).
+std::string num(double v);
+
+}  // namespace nashlb::bench

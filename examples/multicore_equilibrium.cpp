@@ -1,0 +1,90 @@
+// Multi-core equilibrium: the game beyond M/M/1, using the generic
+// convex best-reply solver.
+//
+//   ./multicore_equilibrium [--users 6] [--utilization 0.6]
+//
+// A mixed fleet: a 16-core box, a pair of 4-core boxes, and one very
+// fast single-core machine. Each node is an M/M/c queue (one shared
+// run queue per node, Erlang-C waiting). The paper's closed-form OPTIMAL
+// no longer applies — the KKT best-reply solver does — and the selfish
+// users still settle into an equilibrium. The example prints the
+// per-node equilibrium flows and contrasts them with a naive
+// capacity-proportional split.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/convex_reply.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nashlb;
+  const util::Args args(argc, argv);
+  const auto users = static_cast<std::size_t>(args.get_int("users", 6));
+  const double utilization = args.get_double("utilization", 0.6);
+
+  struct Node {
+    const char* name;
+    unsigned cores;
+    double core_rate;
+  };
+  const std::vector<Node> nodes{
+      {"batch-16x5", 16, 5.0},    // 16 cores x 5 jobs/s = 80
+      {"mid-4x15 (a)", 4, 15.0},  // 60
+      {"mid-4x15 (b)", 4, 15.0},  // 60
+      {"turbo-1x100", 1, 100.0},  // 100
+  };
+
+  std::vector<core::DelayModelPtr> models;
+  double capacity = 0.0;
+  for (const Node& node : nodes) {
+    models.push_back(
+        std::make_shared<core::MMCDelay>(node.core_rate, node.cores));
+    capacity += node.core_rate * node.cores;
+  }
+  const double phi_total = utilization * capacity;
+  const std::vector<double> phi(users, phi_total / static_cast<double>(users));
+
+  std::printf("fleet capacity %.0f jobs/s, %zu users, utilization %.0f%%\n\n",
+              capacity, users, 100.0 * utilization);
+
+  const core::GenericDynamicsResult eq =
+      core::generic_best_reply_dynamics(models, phi, 1e-8, 2000);
+  if (!eq.converged) {
+    std::printf("best-reply dynamics did not converge!\n");
+    return 1;
+  }
+  std::printf("equilibrium reached in %zu best-reply rounds\n\n",
+              eq.iterations);
+
+  std::vector<double> loads(nodes.size(), 0.0);
+  for (const auto& row : eq.flows) {
+    for (std::size_t i = 0; i < loads.size(); ++i) loads[i] += row[i];
+  }
+
+  util::Table table({"node", "capacity", "equilibrium load",
+                     "naive prop. load", "utilization",
+                     "E[response] (s)"});
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const double cap_i =
+        nodes[i].core_rate * static_cast<double>(nodes[i].cores);
+    table.add_row({nodes[i].name, util::format_fixed(cap_i, 0),
+                   util::format_fixed(loads[i], 1),
+                   util::format_fixed(phi_total * cap_i / capacity, 1),
+                   util::format_percent(loads[i] / cap_i),
+                   util::format_fixed(models[i]->response_time(loads[i]),
+                                      4)});
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  std::printf("per-user expected response times:");
+  for (double d : eq.user_times) std::printf(" %.4f", d);
+  std::printf(" s\n\n");
+  std::printf(
+      "reading: the equilibrium under-uses the many-slow-core box\n"
+      "relative to its raw capacity (queueing at slow cores is expensive)\n"
+      "and over-uses the fast single-core machine — exactly the effect a\n"
+      "capacity-proportional policy misses.\n");
+  return 0;
+}

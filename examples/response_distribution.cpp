@@ -1,0 +1,91 @@
+// Response-time *distributions* under different schemes — what the means
+// in the paper's figures hide.
+//
+//   ./response_distribution [--utilization 0.6] [--scheme NASH]
+//                           [--scheme2 PS] [--horizon 4000]
+//
+// Simulates the Table 1 system under two schemes and renders the
+// response-time histograms side by side (plus tail percentiles computed
+// from the streamed samples). Two schemes with similar means can differ
+// sharply in the tail — the p99 a user actually experiences.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "schemes/registry.hpp"
+#include "simmodel/system_sim.hpp"
+#include "stats/histogram.hpp"
+#include "util/cli.hpp"
+#include "workload/configs.hpp"
+
+namespace {
+
+using namespace nashlb;
+
+struct DistributionReport {
+  stats::Histogram histogram{0.0, 0.5, 25};
+  std::vector<double> samples;  // for exact percentiles
+  double mean = 0.0;
+};
+
+DistributionReport run(const core::Instance& inst, const std::string& name,
+                       double horizon) {
+  DistributionReport report;
+  const schemes::SchemePtr scheme = schemes::make_scheme(name);
+  const core::StrategyProfile profile = scheme->solve(inst);
+  simmodel::SimConfig cfg;
+  cfg.horizon = horizon;
+  cfg.warmup = horizon * 0.05;
+  cfg.on_sample = [&](std::size_t, double r) {
+    report.histogram.add(r);
+    report.samples.push_back(r);
+  };
+  const simmodel::SimRunResult res = simmodel::simulate(inst, profile, cfg);
+  report.mean = res.overall_mean_response;
+  std::sort(report.samples.begin(), report.samples.end());
+  return report;
+}
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const double utilization = args.get_double("utilization", 0.6);
+  const std::string scheme_a = args.get("scheme", "NASH");
+  const std::string scheme_b = args.get("scheme2", "PS");
+  const double horizon = args.get_double("horizon", 4000.0);
+
+  const core::Instance inst = workload::table1_instance(utilization);
+  std::printf("Table 1 system at %.0f%% utilization; %s vs %s; "
+              "%.0f simulated seconds\n\n",
+              100.0 * utilization, scheme_a.c_str(), scheme_b.c_str(),
+              horizon);
+
+  const DistributionReport a = run(inst, scheme_a, horizon);
+  const DistributionReport b = run(inst, scheme_b, horizon);
+
+  std::printf("%s response-time distribution (%zu jobs):\n%s\n",
+              scheme_a.c_str(), a.samples.size(),
+              a.histogram.ascii(40).c_str());
+  std::printf("%s response-time distribution (%zu jobs):\n%s\n",
+              scheme_b.c_str(), b.samples.size(),
+              b.histogram.ascii(40).c_str());
+
+  std::printf("           %10s  %10s\n", scheme_a.c_str(), scheme_b.c_str());
+  std::printf("mean       %10.4f  %10.4f\n", a.mean, b.mean);
+  for (double p : {0.5, 0.9, 0.99}) {
+    std::printf("p%-8.0f  %10.4f  %10.4f\n", p * 100.0,
+                percentile(a.samples, p), percentile(b.samples, p));
+  }
+  std::printf(
+      "\nreading: scheme choice moves the whole distribution, not just\n"
+      "the mean — the tail gap is typically wider than the mean gap.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+#include "core/best_reply.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/cost.hpp"
+#include "core/waterfill.hpp"
+
+namespace nashlb::core {
+
+std::vector<double> optimal_fractions(std::span<const double> available_rates,
+                                      double phi) {
+  if (!(phi > 0.0) || !std::isfinite(phi)) {
+    throw std::invalid_argument(
+        "optimal_fractions: phi must be finite and > 0");
+  }
+  const WaterfillResult wf = waterfill_sqrt(available_rates, phi);
+  std::vector<double> fractions(wf.lambda.size());
+  for (std::size_t i = 0; i < fractions.size(); ++i) {
+    fractions[i] = wf.lambda[i] / phi;
+  }
+  return fractions;
+}
+
+std::vector<double> best_reply(const Instance& inst, const StrategyProfile& s,
+                               std::size_t user) {
+  if (user >= inst.num_users()) {
+    throw std::out_of_range("best_reply: user out of range");
+  }
+  const std::vector<double> avail = s.available_rates(inst, user);
+  for (std::size_t i = 0; i < avail.size(); ++i) {
+    if (!(avail[i] > 0.0)) {
+      throw std::invalid_argument(
+          "best_reply: other users overload computer " + std::to_string(i));
+    }
+  }
+  return optimal_fractions(avail, inst.phi[user]);
+}
+
+double best_reply_gain(const Instance& inst, const StrategyProfile& s,
+                       std::size_t user) {
+  const double current = user_response_time(inst, s, user);
+  StrategyProfile deviated = s;
+  const std::vector<double> reply = best_reply(inst, s, user);
+  deviated.set_row(user, reply);
+  const double best = user_response_time(inst, deviated, user);
+  return current - best;
+}
+
+}  // namespace nashlb::core

@@ -1,0 +1,44 @@
+// The OPTIMAL algorithm (paper §2, Theorems 2.1 & 2.2): one user's best
+// reply against the rest of the strategy profile.
+//
+// With every other user's strategy frozen, user j minimizes
+//   D_j(s_j) = sum_i s_ji / (mu^j_i - s_ji phi_j)
+// over the simplex, where mu^j_i = mu_i - sum_{k != j} s_ki phi_k is the
+// available rate at computer i as seen by user j. Substituting
+// lambda_i = s_ji phi_j shows this is the sqrt-rule water-filling problem
+// with capacities mu^j — see waterfill.hpp — so the best reply is unique
+// and computable in O(n log n).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace nashlb::core {
+
+/// Best reply computed from raw available rates (the paper's
+/// OPTIMAL(mu^j_1..mu^j_n, phi_j) signature): returns the load fractions
+/// s_j1..s_jn. `available_rates` must all be positive and their sum must
+/// strictly exceed `phi`; throws std::invalid_argument otherwise.
+[[nodiscard]] std::vector<double> optimal_fractions(
+    std::span<const double> available_rates, double phi);
+
+/// Best reply of `user` against profile `s` in instance `inst` — computes
+/// the available rates and delegates to optimal_fractions. The profile's
+/// other rows must describe a load with lambda_i - s_ji phi_j < mu_i
+/// everywhere (any feasible profile qualifies).
+[[nodiscard]] std::vector<double> best_reply(const Instance& inst,
+                                             const StrategyProfile& s,
+                                             std::size_t user);
+
+/// The improvement available to `user` by unilaterally deviating to its
+/// best reply: D_j(current) - D_j(best reply), always >= 0 up to rounding.
+/// Zero (within tolerance) for every user simultaneously characterizes a
+/// Nash equilibrium (Definition 2.1).
+[[nodiscard]] double best_reply_gain(const Instance& inst,
+                                     const StrategyProfile& s,
+                                     std::size_t user);
+
+}  // namespace nashlb::core

@@ -1,0 +1,201 @@
+#include "core/convex_reply.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace nashlb::core {
+namespace {
+
+/// Marginal cost of user flow l at computer i given background x:
+/// g(l) = T(x + l) + l T'(x + l).
+double marginal(const DelayModel& model, double background, double flow) {
+  return model.response_time(background + flow) +
+         flow * model.response_time_derivative(background + flow);
+}
+
+/// Inverse of the marginal by bisection: the flow l in [0, slack) with
+/// g(l) = alpha, or 0 when even g(0) >= alpha. `slack` is the remaining
+/// capacity headroom above the background load.
+double flow_at_alpha(const DelayModel& model, double background,
+                     double slack, double alpha) {
+  if (marginal(model, background, 0.0) >= alpha) return 0.0;
+  double lo = 0.0;
+  double hi = slack * (1.0 - 1e-12);
+  // g(hi) -> +inf as hi -> slack for queueing delays, so alpha is
+  // bracketed; guard anyway in case a model saturates.
+  if (marginal(model, background, hi) <= alpha) return hi;
+  for (int step = 0; step < 200; ++step) {
+    const double mid = 0.5 * (lo + hi);
+    if (marginal(model, background, mid) < alpha) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo <= 1e-15 * (1.0 + hi)) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+ConvexReplyResult convex_best_reply(const std::vector<DelayModelPtr>& models,
+                                    const std::vector<double>& background,
+                                    double phi, double tol) {
+  const std::size_t n = models.size();
+  if (n == 0 || background.size() != n) {
+    throw std::invalid_argument(
+        "convex_best_reply: empty models or size mismatch");
+  }
+  if (!(phi > 0.0) || !std::isfinite(phi)) {
+    throw std::invalid_argument("convex_best_reply: phi must be > 0");
+  }
+  double headroom = 0.0;
+  std::vector<double> slack(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!models[i]) {
+      throw std::invalid_argument("convex_best_reply: null model");
+    }
+    slack[i] = models[i]->capacity() - background[i];
+    if (!(background[i] >= 0.0) || !(slack[i] > 0.0)) {
+      throw std::invalid_argument(
+          "convex_best_reply: background overloads computer " +
+          std::to_string(i));
+    }
+    headroom += slack[i];
+  }
+  if (!(phi < headroom)) {
+    throw std::invalid_argument(
+        "convex_best_reply: demand exceeds remaining capacity");
+  }
+
+  // Bracket alpha: at alpha_lo no computer takes flow; grow alpha_hi until
+  // the allocation over-covers phi.
+  double alpha_lo = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    alpha_lo = std::min(alpha_lo, marginal(*models[i], background[i], 0.0));
+  }
+  double alpha_hi = 2.0 * alpha_lo + 1.0;
+  auto total_flow = [&](double alpha, std::vector<double>& out) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = flow_at_alpha(*models[i], background[i], slack[i], alpha);
+      total += out[i];
+    }
+    return total;
+  };
+  ConvexReplyResult res;
+  res.flow.assign(n, 0.0);
+  std::vector<double> scratch(n);
+  for (int grow = 0; grow < 200; ++grow) {
+    if (total_flow(alpha_hi, scratch) >= phi) break;
+    alpha_hi *= 2.0;
+  }
+
+  // Outer bisection on the monotone map alpha -> sum_i l_i(alpha).
+  for (std::size_t step = 0; step < 200; ++step) {
+    ++res.iterations;
+    const double alpha = 0.5 * (alpha_lo + alpha_hi);
+    const double total = total_flow(alpha, res.flow);
+    if (std::fabs(total - phi) <= tol) {
+      res.alpha = alpha;
+      break;
+    }
+    if (total < phi) {
+      alpha_lo = alpha;
+    } else {
+      alpha_hi = alpha;
+    }
+    res.alpha = alpha;
+  }
+  // Rescale the final iterate so conservation holds exactly (the residual
+  // is within tol, so the perturbation is negligible for the cost).
+  double total = 0.0;
+  for (double f : res.flow) total += f;
+  if (total > 0.0) {
+    const double scale = phi / total;
+    bool safe = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (res.flow[i] * scale >= slack[i]) safe = false;
+    }
+    if (safe) {
+      for (double& f : res.flow) f *= scale;
+    }
+  }
+  return res;
+}
+
+GenericDynamicsResult generic_best_reply_dynamics(
+    const std::vector<DelayModelPtr>& models, const std::vector<double>& phi,
+    double tolerance, std::size_t max_iterations) {
+  const std::size_t n = models.size();
+  const std::size_t m = phi.size();
+  if (n == 0 || m == 0) {
+    throw std::invalid_argument(
+        "generic_best_reply_dynamics: empty system");
+  }
+  double cap = 0.0;
+  for (const DelayModelPtr& model : models) {
+    if (!model) {
+      throw std::invalid_argument("generic_best_reply_dynamics: null model");
+    }
+    cap += model->capacity();
+  }
+  double demand = 0.0;
+  for (double p : phi) {
+    if (!(p > 0.0)) {
+      throw std::invalid_argument(
+          "generic_best_reply_dynamics: user rates must be > 0");
+    }
+    demand += p;
+  }
+  if (!(demand < cap)) {
+    throw std::invalid_argument(
+        "generic_best_reply_dynamics: demand exceeds capacity");
+  }
+
+  GenericDynamicsResult res;
+  res.flows.assign(m, std::vector<double>(n, 0.0));
+  std::vector<double> loads(n, 0.0);
+  std::vector<double> last_times(m, 0.0);
+
+  auto user_time = [&](std::size_t j) {
+    double d = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (res.flows[j][i] > 0.0) {
+        d += res.flows[j][i] * models[i]->response_time(loads[i]);
+      }
+    }
+    return d / phi[j];
+  };
+
+  for (std::size_t round = 1; round <= max_iterations; ++round) {
+    double norm = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      std::vector<double> background(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        background[i] = loads[i] - res.flows[j][i];
+      }
+      const ConvexReplyResult reply =
+          convex_best_reply(models, background, phi[j]);
+      for (std::size_t i = 0; i < n; ++i) {
+        loads[i] = background[i] + reply.flow[i];
+        res.flows[j][i] = reply.flow[i];
+      }
+      const double d = user_time(j);
+      norm += std::fabs(d - last_times[j]);
+      last_times[j] = d;
+    }
+    res.iterations = round;
+    res.norm_history.push_back(norm);
+    if (norm <= tolerance) {
+      res.converged = true;
+      break;
+    }
+  }
+  res.user_times = std::move(last_times);
+  return res;
+}
+
+}  // namespace nashlb::core

@@ -1,0 +1,61 @@
+// Generic best reply for convex delay models — OPTIMAL beyond M/M/1.
+//
+// With the other users' flows x_i frozen, user j chooses its own flow
+// vector l (l_i >= 0, sum l_i = phi_j) minimizing
+//     D_j(l) = (1/phi_j) sum_i l_i * T_i(x_i + l_i).
+// For any DelayModel with T increasing and convex this is a strictly
+// convex problem whose KKT conditions read: there is a multiplier alpha
+// with
+//     g_i(l_i) := T_i(x_i + l_i) + l_i T_i'(x_i + l_i)  = alpha  (l_i > 0)
+//                                                       >= alpha (l_i = 0)
+// Each marginal g_i is continuous and strictly increasing in l_i, so
+// l_i(alpha) is obtained by bisection per computer, and alpha itself by an
+// outer bisection on the monotone map alpha -> sum_i l_i(alpha). For
+// M/M/1 models g_i(l) = mu^j_i/(mu^j_i - l)^2 and the result matches the
+// paper's closed form to solver tolerance — which is exactly how the test
+// suite validates this module.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/delay_model.hpp"
+
+namespace nashlb::core {
+
+/// Result of a generic best-reply computation.
+struct ConvexReplyResult {
+  /// The user's flow to each computer (sums to the demand).
+  std::vector<double> flow;
+  /// KKT multiplier (common marginal cost on the support).
+  double alpha = 0.0;
+  /// Outer-bisection iterations used.
+  std::size_t iterations = 0;
+};
+
+/// Computes the best reply of a user with demand `phi` against background
+/// loads `background` (the other users' flows at each computer).
+/// Requires background[i] >= 0, background[i] < models[i]->capacity(),
+/// and phi < sum_i (capacity_i - background_i); throws
+/// std::invalid_argument otherwise. `tol` bounds |sum flow - phi|.
+[[nodiscard]] ConvexReplyResult convex_best_reply(
+    const std::vector<DelayModelPtr>& models,
+    const std::vector<double>& background, double phi, double tol = 1e-10);
+
+/// Round-robin best-reply dynamics over generic delay models: the NASH
+/// algorithm of §3 with OPTIMAL replaced by convex_best_reply.
+struct GenericDynamicsResult {
+  /// flows[j][i]: user j's flow to computer i at the final profile.
+  std::vector<std::vector<double>> flows;
+  bool converged = false;
+  std::size_t iterations = 0;
+  std::vector<double> norm_history;
+  /// Final per-user expected response times.
+  std::vector<double> user_times;
+};
+
+[[nodiscard]] GenericDynamicsResult generic_best_reply_dynamics(
+    const std::vector<DelayModelPtr>& models, const std::vector<double>& phi,
+    double tolerance = 1e-6, std::size_t max_iterations = 1000);
+
+}  // namespace nashlb::core

@@ -1,0 +1,105 @@
+#include "core/delay_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "queueing/mmc.hpp"
+
+namespace nashlb::core {
+
+MM1Delay::MM1Delay(double mu) : mu_(mu) {
+  if (!(mu > 0.0) || !std::isfinite(mu)) {
+    throw std::invalid_argument("MM1Delay: mu must be finite and > 0");
+  }
+}
+
+double MM1Delay::response_time(double lambda) const {
+  if (!(lambda >= 0.0) || !(lambda < mu_)) {
+    throw std::invalid_argument("MM1Delay: load out of [0, mu)");
+  }
+  return 1.0 / (mu_ - lambda);
+}
+
+double MM1Delay::response_time_derivative(double lambda) const {
+  const double slack = mu_ - lambda;
+  if (!(lambda >= 0.0) || !(slack > 0.0)) {
+    throw std::invalid_argument("MM1Delay: load out of [0, mu)");
+  }
+  return 1.0 / (slack * slack);
+}
+
+MMCDelay::MMCDelay(double mu_core, unsigned servers)
+    : mu_(mu_core), c_(servers) {
+  if (c_ == 0 || !(mu_core > 0.0) || !std::isfinite(mu_core)) {
+    throw std::invalid_argument("MMCDelay: need servers >= 1 and mu > 0");
+  }
+}
+
+double MMCDelay::capacity() const {
+  return mu_ * static_cast<double>(c_);
+}
+
+double MMCDelay::response_time(double lambda) const {
+  return queueing::MMC(lambda, mu_, c_).mean_response_time();
+}
+
+double MMCDelay::response_time_derivative(double lambda) const {
+  const double cap = capacity();
+  if (!(lambda >= 0.0) || !(lambda < cap)) {
+    throw std::invalid_argument("MMCDelay: load out of [0, capacity)");
+  }
+  // Central difference with a step scaled to the remaining slack so the
+  // stencil never leaves the stability region.
+  const double h = std::min(1e-6 * cap, 0.49 * (cap - lambda));
+  if (h <= 0.0) {
+    throw std::invalid_argument("MMCDelay: load too close to capacity");
+  }
+  const double lo = std::max(0.0, lambda - h);
+  const double hi = lambda + h;
+  return (response_time(hi) - response_time(lo)) / (hi - lo);
+}
+
+ShiftedDelay::ShiftedDelay(DelayModelPtr inner, double shift)
+    : inner_(std::move(inner)), shift_(shift) {
+  if (!inner_) {
+    throw std::invalid_argument("ShiftedDelay: null inner model");
+  }
+  if (!(shift >= 0.0) || !std::isfinite(shift)) {
+    throw std::invalid_argument(
+        "ShiftedDelay: shift must be finite and >= 0");
+  }
+}
+
+double ShiftedDelay::response_time(double lambda) const {
+  return inner_->response_time(lambda) + shift_;
+}
+
+double ShiftedDelay::response_time_derivative(double lambda) const {
+  return inner_->response_time_derivative(lambda);
+}
+
+double ShiftedDelay::capacity() const { return inner_->capacity(); }
+
+std::vector<DelayModelPtr> mm1_models_with_comm(
+    const std::vector<double>& mu, const std::vector<double>& comm_delay) {
+  if (mu.size() != comm_delay.size()) {
+    throw std::invalid_argument("mm1_models_with_comm: size mismatch");
+  }
+  std::vector<DelayModelPtr> models;
+  models.reserve(mu.size());
+  for (std::size_t i = 0; i < mu.size(); ++i) {
+    models.push_back(std::make_shared<ShiftedDelay>(
+        std::make_shared<MM1Delay>(mu[i]), comm_delay[i]));
+  }
+  return models;
+}
+
+std::vector<DelayModelPtr> mm1_models(const std::vector<double>& mu) {
+  std::vector<DelayModelPtr> models;
+  models.reserve(mu.size());
+  for (double m : mu) models.push_back(std::make_shared<MM1Delay>(m));
+  return models;
+}
+
+}  // namespace nashlb::core

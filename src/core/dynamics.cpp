@@ -1,0 +1,127 @@
+#include "core/dynamics.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/best_reply.hpp"
+#include "core/cost.hpp"
+#include "stats/rng.hpp"
+
+namespace nashlb::core {
+namespace {
+
+/// True if every computer still has spare capacity for `user` to target.
+bool replies_computable(const Instance& inst, const StrategyProfile& s,
+                        std::size_t user) {
+  const std::vector<double> avail = s.available_rates(inst, user);
+  for (double a : avail) {
+    if (!(a > 0.0)) return false;
+  }
+  return true;
+}
+
+DynamicsResult run(const Instance& inst, StrategyProfile profile,
+                   std::vector<double> last_times,
+                   const DynamicsOptions& options,
+                   const RoundObserver& observer) {
+  const std::size_t m = inst.num_users();
+  DynamicsResult result{std::move(profile), false, false, 0, {}, {}};
+  stats::Xoshiro256 order_rng(options.order_seed);
+  std::vector<std::size_t> order(m);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  for (std::size_t round = 1; round <= options.max_iterations; ++round) {
+    double norm = 0.0;
+    if (options.order == UpdateOrder::RoundRobin ||
+        options.order == UpdateOrder::RandomOrder) {
+      if (options.order == UpdateOrder::RandomOrder) {
+        // Fisher–Yates with the dynamics' own RNG: deterministic per seed.
+        for (std::size_t k = m; k > 1; --k) {
+          std::swap(order[k - 1],
+                    order[static_cast<std::size_t>(order_rng.next_below(k))]);
+        }
+      }
+      for (std::size_t idx = 0; idx < m; ++idx) {
+        const std::size_t j = order[idx];
+        result.profile.set_row(j, best_reply(inst, result.profile, j));
+        const double d = user_response_time(inst, result.profile, j);
+        norm += std::fabs(d - last_times[j]);
+        last_times[j] = d;
+      }
+    } else {
+      // Jacobi: all replies against the frozen round-(l-1) profile.
+      const StrategyProfile frozen = result.profile;
+      for (std::size_t j = 0; j < m; ++j) {
+        result.profile.set_row(j, best_reply(inst, frozen, j));
+      }
+      // The combined move can overload computers; detect and stop.
+      bool ok = true;
+      for (std::size_t j = 0; j < m && ok; ++j) {
+        ok = replies_computable(inst, result.profile, j);
+      }
+      for (std::size_t j = 0; j < m; ++j) {
+        const double d = user_response_time(inst, result.profile, j);
+        if (!std::isfinite(d)) ok = false;
+        norm += std::fabs(d - last_times[j]);
+        last_times[j] = d;
+      }
+      if (!ok) {
+        result.iterations = round;
+        result.norm_history.push_back(norm);
+        result.diverged = true;
+        result.user_times = std::move(last_times);
+        return result;
+      }
+    }
+
+    result.iterations = round;
+    result.norm_history.push_back(norm);
+    if (observer) observer(round, result.profile, norm);
+    if (norm <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.user_times = user_response_times(inst, result.profile);
+  return result;
+}
+
+}  // namespace
+
+DynamicsResult best_reply_dynamics(const Instance& inst,
+                                   const DynamicsOptions& options,
+                                   const RoundObserver& observer) {
+  inst.validate();
+  const std::size_t m = inst.num_users();
+  const std::size_t n = inst.num_computers();
+  if (options.init == Initialization::Proportional) {
+    return best_reply_dynamics_from(
+        inst, StrategyProfile::proportional(inst), options, observer);
+  }
+  // NASH_0: start from the empty profile with D_j^(0) := 0 — the first
+  // round's norm is then simply sum_j D_j^(1).
+  StrategyProfile zero(m, n);
+  std::vector<double> last_times(m, 0.0);
+  return run(inst, std::move(zero), std::move(last_times), options, observer);
+}
+
+DynamicsResult best_reply_dynamics_from(const Instance& inst,
+                                        const StrategyProfile& start,
+                                        const DynamicsOptions& options,
+                                        const RoundObserver& observer) {
+  inst.validate();
+  if (start.num_users() != inst.num_users() ||
+      start.num_computers() != inst.num_computers()) {
+    throw std::invalid_argument(
+        "best_reply_dynamics_from: start profile has wrong dimensions");
+  }
+  std::vector<double> last_times = user_response_times(inst, start);
+  for (double& d : last_times) {
+    if (!std::isfinite(d)) d = 0.0;  // e.g. an all-zero start row
+  }
+  return run(inst, start, std::move(last_times), options, observer);
+}
+
+}  // namespace nashlb::core

@@ -1,0 +1,88 @@
+// Greedy best-reply dynamics — the computational core of the paper's NASH
+// distributed load balancing algorithm (§3), in its in-memory form.
+//
+// Users update their strategies one at a time in round-robin order; each
+// update is the OPTIMAL best reply against the current profile. The
+// stopping rule follows the paper's ring protocol: one "iteration" is a
+// full round of m updates; during round l the running norm accumulates
+// |D_j^(l) - D_j^(l-1)| as each user j updates; the dynamics stops when a
+// round's norm falls to the acceptance tolerance epsilon.
+//
+// Both initializations from §4.2.1 are provided: NASH_0 (empty strategies,
+// every D_j^(0) = 0) and NASH_P (proportional allocation). A Jacobi
+// (simultaneous-update) variant exists for the update-order ablation; it
+// is *not* the paper's algorithm and may diverge, which the result
+// reports honestly.
+//
+// Convergence of best-reply for M/M/1 costs and more than two users is an
+// open problem (§3), so the dynamics carries an iteration cap and returns
+// converged = false rather than looping forever.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace nashlb::core {
+
+/// Starting profile of the dynamics (§4.2.1).
+enum class Initialization {
+  Zero,          ///< NASH_0: all fractions zero, D_j^(0) taken as 0
+  Proportional,  ///< NASH_P: s_ji = mu_i / sum_k mu_k
+};
+
+/// Who moves when.
+enum class UpdateOrder {
+  RoundRobin,     ///< Gauss–Seidel: user j sees users 1..j-1's round-l moves
+  Simultaneous,   ///< Jacobi: everyone replies to the round-(l-1) profile
+  RandomOrder,    ///< sequential updates in a fresh random permutation per
+                  ///< round — models a ring without a fixed token order
+};
+
+/// Tuning knobs of the dynamics.
+struct DynamicsOptions {
+  Initialization init = Initialization::Proportional;
+  UpdateOrder order = UpdateOrder::RoundRobin;
+  /// Acceptance tolerance on the per-round response-time norm (seconds).
+  double tolerance = 1e-4;
+  /// Hard cap on rounds; exceeded => converged = false.
+  std::size_t max_iterations = 1000;
+  /// Seed for the RandomOrder permutations (ignored otherwise).
+  std::uint64_t order_seed = 0x0badcafeULL;
+};
+
+/// Outcome of a run of the dynamics.
+struct DynamicsResult {
+  StrategyProfile profile;       ///< final profile (the equilibrium if converged)
+  bool converged = false;        ///< norm <= tolerance within the cap
+  bool diverged = false;         ///< an intermediate state became infeasible
+                                 ///< (possible only under Simultaneous)
+  std::size_t iterations = 0;    ///< rounds executed
+  /// norm after each round: norm_history[l-1] = sum_j |D_j^(l)-D_j^(l-1)|.
+  std::vector<double> norm_history;
+  /// Per-user expected response times at the final profile.
+  std::vector<double> user_times;
+};
+
+/// Observer invoked after each round with (round index starting at 1,
+/// current profile, round norm). Used by the Figure 2 bench to record the
+/// convergence trace.
+using RoundObserver =
+    std::function<void(std::size_t, const StrategyProfile&, double)>;
+
+/// Runs the dynamics from the configured initialization.
+[[nodiscard]] DynamicsResult best_reply_dynamics(
+    const Instance& inst, const DynamicsOptions& options = {},
+    const RoundObserver& observer = nullptr);
+
+/// Runs the dynamics from an explicit starting profile (the `init` option
+/// is ignored). `start` must have the instance's dimensions.
+[[nodiscard]] DynamicsResult best_reply_dynamics_from(
+    const Instance& inst, const StrategyProfile& start,
+    const DynamicsOptions& options = {},
+    const RoundObserver& observer = nullptr);
+
+}  // namespace nashlb::core

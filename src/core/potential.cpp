@@ -1,0 +1,53 @@
+#include "core/potential.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/cost.hpp"
+#include "core/dynamics.hpp"
+#include "core/waterfill.hpp"
+
+namespace nashlb::core {
+
+double beckmann_potential(std::span<const double> lambda,
+                          std::span<const double> mu) {
+  if (lambda.size() != mu.size()) {
+    throw std::invalid_argument("beckmann_potential: size mismatch");
+  }
+  double b = 0.0;
+  for (std::size_t i = 0; i < lambda.size(); ++i) {
+    if (!(lambda[i] >= 0.0) || !(lambda[i] < mu[i])) {
+      throw std::invalid_argument(
+          "beckmann_potential: loads must satisfy 0 <= lambda < mu");
+    }
+    b += std::log(mu[i]) - std::log(mu[i] - lambda[i]);
+  }
+  return b;
+}
+
+InefficiencyReport inefficiency_report(const Instance& inst,
+                                       double nash_tolerance) {
+  inst.validate();
+  const double phi = inst.total_arrival_rate();
+
+  InefficiencyReport report;
+  report.social_optimum = overall_response_time_from_loads(
+      waterfill_sqrt(inst.mu, phi).lambda, inst.mu);
+  report.wardrop_cost = overall_response_time_from_loads(
+      waterfill_linear(inst.mu, phi).lambda, inst.mu);
+
+  DynamicsOptions opts;
+  opts.tolerance = nash_tolerance;
+  opts.max_iterations = 10000;
+  const DynamicsResult res = best_reply_dynamics(inst, opts);
+  if (!res.converged) {
+    throw std::runtime_error(
+        "inefficiency_report: best-reply dynamics did not converge");
+  }
+  report.nash_cost = overall_response_time(inst, res.profile);
+  report.nash_ratio = report.nash_cost / report.social_optimum;
+  report.wardrop_ratio = report.wardrop_cost / report.social_optimum;
+  return report;
+}
+
+}  // namespace nashlb::core

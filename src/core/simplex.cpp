@@ -1,0 +1,50 @@
+#include "core/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nashlb::core {
+
+std::vector<double> project_to_simplex(std::span<const double> v,
+                                       double radius) {
+  if (v.empty()) {
+    throw std::invalid_argument("project_to_simplex: empty vector");
+  }
+  if (!(radius > 0.0) || !std::isfinite(radius)) {
+    throw std::invalid_argument(
+        "project_to_simplex: radius must be finite and > 0");
+  }
+  for (double x : v) {
+    if (!std::isfinite(x)) {
+      throw std::invalid_argument("project_to_simplex: non-finite input");
+    }
+  }
+
+  std::vector<double> sorted(v.begin(), v.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+
+  // Find the pivot rho = max { k : sorted[k] - (csum_k - radius)/(k+1) > 0 }.
+  double csum = 0.0;
+  double theta = 0.0;
+  std::size_t rho = 0;
+  double csum_at_rho = 0.0;
+  for (std::size_t k = 0; k < sorted.size(); ++k) {
+    csum += sorted[k];
+    const double candidate =
+        (csum - radius) / static_cast<double>(k + 1);
+    if (sorted[k] - candidate > 0.0) {
+      rho = k;
+      csum_at_rho = csum;
+    }
+  }
+  theta = (csum_at_rho - radius) / static_cast<double>(rho + 1);
+
+  std::vector<double> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out[i] = std::max(0.0, v[i] - theta);
+  }
+  return out;
+}
+
+}  // namespace nashlb::core

@@ -1,0 +1,20 @@
+// Euclidean projection onto the probability simplex.
+//
+// Used by the cooperative (NBS) extension's projected-gradient solver and
+// by robustness tests that need to repair slightly-infeasible strategies.
+// Algorithm: sort-based O(n log n) projection (Held, Wolfe & Crowder 1974;
+// the formulation of Duchi et al. 2008).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace nashlb::core {
+
+/// Returns the Euclidean projection of `v` onto
+/// { x : x_i >= 0, sum_i x_i = radius }. Requires radius > 0 and a
+/// non-empty v; throws std::invalid_argument otherwise.
+[[nodiscard]] std::vector<double> project_to_simplex(std::span<const double> v,
+                                                     double radius = 1.0);
+
+}  // namespace nashlb::core

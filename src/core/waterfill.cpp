@@ -1,0 +1,126 @@
+#include "core/waterfill.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace nashlb::core {
+namespace {
+
+void check_inputs(std::span<const double> capacities, double demand,
+                  const char* who) {
+  if (capacities.empty()) {
+    throw std::invalid_argument(std::string(who) + ": no computers");
+  }
+  double total = 0.0;
+  for (double c : capacities) {
+    if (!(c > 0.0) || !std::isfinite(c)) {
+      throw std::invalid_argument(std::string(who) +
+                                  ": capacities must be finite and > 0");
+    }
+    total += c;
+  }
+  if (!(demand >= 0.0) || !(demand < total)) {
+    throw std::invalid_argument(std::string(who) +
+                                ": need 0 <= demand < total capacity");
+  }
+}
+
+/// Indices of `capacities` sorted by decreasing capacity; ties broken by
+/// index so results are deterministic.
+std::vector<std::size_t> sort_decreasing(std::span<const double> capacities) {
+  std::vector<std::size_t> order(capacities.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return capacities[a] > capacities[b];
+                   });
+  return order;
+}
+
+}  // namespace
+
+WaterfillResult waterfill_sqrt(std::span<const double> capacities,
+                               double demand) {
+  check_inputs(capacities, demand, "waterfill_sqrt");
+  const std::vector<std::size_t> order = sort_decreasing(capacities);
+  const std::size_t n = order.size();
+
+  // Step 2 of OPTIMAL: running sums over the candidate active set.
+  double sum_c = 0.0;
+  double sum_sqrt = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    sum_c += capacities[order[k]];
+    sum_sqrt += std::sqrt(capacities[order[k]]);
+  }
+
+  // Step 3: shrink the active set while the slowest candidate would be
+  // assigned a non-positive share (sqrt(c_c) <= t). The paper's loop
+  // condition "mu_c <= t * sqrt(mu_c)" is the same inequality.
+  std::size_t c = n;
+  double t = (sum_c - demand) / sum_sqrt;
+  while (c > 1) {
+    const double cap_last = capacities[order[c - 1]];
+    if (std::sqrt(cap_last) > t) break;
+    sum_c -= cap_last;
+    sum_sqrt -= std::sqrt(cap_last);
+    --c;
+    t = (sum_c - demand) / sum_sqrt;
+  }
+
+  // Step 4: closed-form shares; the final one by subtraction so the
+  // conservation constraint holds exactly in floating point.
+  WaterfillResult res;
+  res.lambda.assign(n, 0.0);
+  res.level = t;
+  res.active_count = c;
+  double assigned = 0.0;
+  for (std::size_t k = 0; k + 1 < c; ++k) {
+    const double cap = capacities[order[k]];
+    const double share = cap - std::sqrt(cap) * t;
+    res.lambda[order[k]] = share;
+    assigned += share;
+  }
+  res.lambda[order[c - 1]] = demand - assigned;
+  if (res.lambda[order[c - 1]] < 0.0) res.lambda[order[c - 1]] = 0.0;
+  if (demand == 0.0) res.active_count = 0;
+  return res;
+}
+
+WaterfillResult waterfill_linear(std::span<const double> capacities,
+                                 double demand) {
+  check_inputs(capacities, demand, "waterfill_linear");
+  const std::vector<std::size_t> order = sort_decreasing(capacities);
+  const std::size_t n = order.size();
+
+  double sum_c = 0.0;
+  for (std::size_t k = 0; k < n; ++k) sum_c += capacities[order[k]];
+
+  std::size_t c = n;
+  double t = (sum_c - demand) / static_cast<double>(c);
+  while (c > 1) {
+    const double cap_last = capacities[order[c - 1]];
+    if (cap_last > t) break;
+    sum_c -= cap_last;
+    --c;
+    t = (sum_c - demand) / static_cast<double>(c);
+  }
+
+  WaterfillResult res;
+  res.lambda.assign(n, 0.0);
+  res.level = t;
+  res.active_count = c;
+  double assigned = 0.0;
+  for (std::size_t k = 0; k + 1 < c; ++k) {
+    const double share = capacities[order[k]] - t;
+    res.lambda[order[k]] = share;
+    assigned += share;
+  }
+  res.lambda[order[c - 1]] = demand - assigned;
+  if (res.lambda[order[c - 1]] < 0.0) res.lambda[order[c - 1]] = 0.0;
+  if (demand == 0.0) res.active_count = 0;
+  return res;
+}
+
+}  // namespace nashlb::core

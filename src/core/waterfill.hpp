@@ -1,0 +1,56 @@
+// Water-filling allocators — the closed-form convex optimizers behind
+// every scheme in this repository.
+//
+// Two allocation problems over parallel M/M/1 queues with capacities c_i
+// and a demand phi < sum_i c_i recur throughout the paper:
+//
+// 1. "sqrt rule" (Theorem 2.1 / OPTIMAL, and the GOS aggregate optimum
+//    [Tang & Chanson; Kim & Kameda]):
+//        minimize sum_i lambda_i / (c_i - lambda_i)
+//    KKT: c_i / (c_i - lambda_i)^2 equal on the support, hence
+//        lambda_i = c_i - sqrt(c_i) * t,
+//        t = (sum_active c_k - phi) / (sum_active sqrt(c_k)),
+//    with the support being the fastest computers — shrink it until every
+//    retained computer gets a strictly positive share.
+//
+// 2. "linear rule" (IOS / Wardrop equilibrium [Kameda et al.]): equalize
+//    the *response time* 1/(c_i - lambda_i) itself on the support:
+//        lambda_i = c_i - t,  t = (sum_active c_k - phi) / |active|.
+//
+// Both run in O(n log n) (sort + one shrink pass) and both guarantee
+// 0 <= lambda_i < c_i and sum_i lambda_i = phi exactly (the last share is
+// computed by subtraction to kill rounding drift).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace nashlb::core {
+
+/// Result of a water-filling allocation.
+struct WaterfillResult {
+  /// Allocated arrival rate per computer (same indexing as the input).
+  std::vector<double> lambda;
+  /// Number of computers with a strictly positive allocation.
+  std::size_t active_count = 0;
+  /// The water level `t` at the optimum (diagnostic; see formulas above).
+  double level = 0.0;
+};
+
+/// Minimizes sum_i lambda_i/(c_i - lambda_i) subject to lambda >= 0,
+/// sum lambda = demand. This *is* the paper's OPTIMAL algorithm when
+/// `capacities` are the available rates mu^j seen by one user, and the
+/// GOS aggregate optimum when they are the raw mu and demand = Phi.
+///
+/// Requires every capacity > 0 and 0 <= demand < sum capacities;
+/// throws std::invalid_argument otherwise.
+[[nodiscard]] WaterfillResult waterfill_sqrt(std::span<const double> capacities,
+                                             double demand);
+
+/// Wardrop allocation: equalizes 1/(c_i - lambda_i) across the support.
+/// Same preconditions and guarantees as waterfill_sqrt.
+[[nodiscard]] WaterfillResult waterfill_linear(
+    std::span<const double> capacities, double demand);
+
+}  // namespace nashlb::core

@@ -1,0 +1,105 @@
+#include "des/event_queue.hpp"
+
+#include <stdexcept>
+
+namespace nashlb::des {
+
+EventHandle EventQueue::push(SimTime time, EventFn fn) {
+  auto rec = std::make_shared<EventRecord>();
+  rec->time = time;
+  rec->seq = next_seq_++;
+  rec->fn = std::move(fn);
+  rec->live_counter = live_;
+  heap_.push_back(rec);
+  sift_up(heap_.size() - 1);
+  ++*live_;
+  return EventHandle{rec};
+}
+
+SimTime EventQueue::next_time() const {
+  const_cast<EventQueue*>(this)->drop_cancelled_top();
+  if (heap_.empty()) {
+    throw std::logic_error("EventQueue::next_time: queue is empty");
+  }
+  return heap_.front()->time;
+}
+
+std::shared_ptr<EventRecord> EventQueue::pop() {
+  drop_cancelled_top();
+  if (heap_.empty()) {
+    throw std::logic_error("EventQueue::pop: queue is empty");
+  }
+  auto top = heap_.front();
+  remove_top();
+  top->fired = true;
+  --*live_;
+  return top;
+}
+
+void EventQueue::clear() noexcept {
+  for (auto& rec : heap_) {
+    if (!rec->cancelled && !rec->fired) rec->cancelled = true;
+  }
+  heap_.clear();
+  *live_ = 0;
+}
+
+bool EventQueue::before(const EventRecord& a, const EventRecord& b) noexcept {
+  // Strict weak ordering: earlier time first; FIFO among simultaneous
+  // events (deterministic replay depends on this tie-break).
+  if (a.time != b.time) return a.time < b.time;
+  return a.seq < b.seq;
+}
+
+void EventQueue::drop_cancelled_top() {
+  while (!heap_.empty() && heap_.front()->cancelled) {
+    remove_top();
+  }
+}
+
+void EventQueue::remove_top() {
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!before(*heap_[i], *heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t left = 2 * i + 1;
+    const std::size_t right = left + 1;
+    std::size_t smallest = i;
+    if (left < n && before(*heap_[left], *heap_[smallest])) smallest = left;
+    if (right < n && before(*heap_[right], *heap_[smallest])) {
+      smallest = right;
+    }
+    if (smallest == i) return;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+bool EventHandle::cancel() noexcept {
+  auto rec = rec_.lock();
+  if (!rec || rec->cancelled || rec->fired) return false;
+  rec->cancelled = true;
+  rec->fn = nullptr;  // release any captured resources promptly
+  if (rec->live_counter) --*rec->live_counter;
+  return true;
+}
+
+bool EventHandle::pending() const noexcept {
+  auto rec = rec_.lock();
+  return rec && !rec->cancelled && !rec->fired;
+}
+
+}  // namespace nashlb::des

@@ -1,0 +1,95 @@
+// Pending-event calendar for the discrete-event simulator.
+//
+// A binary min-heap keyed on (time, insertion sequence number). The
+// sequence tie-break makes simultaneous events fire in scheduling order,
+// which keeps every simulation deterministic given a seed — a property the
+// replication methodology of §4.1 and all regression tests rely on.
+//
+// Cancellation is lazy: a cancelled record stays in the heap (O(1) cancel)
+// and is skipped when it surfaces. The simulator's workloads cancel rarely
+// (preemption only), so lazy deletion beats a tombstone-free design.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace nashlb::des {
+
+/// Simulation clock time, in model seconds.
+using SimTime = double;
+
+/// An event body. Receives the firing time.
+using EventFn = std::function<void(SimTime)>;
+
+/// Internal event record; exposed because EventHandle observes it.
+struct EventRecord {
+  SimTime time = 0.0;
+  std::uint64_t seq = 0;
+  bool cancelled = false;
+  bool fired = false;
+  EventFn fn;
+  // Live-event counter shared with the owning queue, so cancellation via a
+  // handle keeps the queue's size() exact even after the queue dies.
+  std::shared_ptr<std::uint64_t> live_counter;
+};
+
+/// A cancellable reference to a scheduled event. Copyable; holding one
+/// never extends the event's lifetime (weak reference).
+class EventHandle {
+ public:
+  EventHandle() = default;
+  explicit EventHandle(std::weak_ptr<EventRecord> rec) : rec_(std::move(rec)) {}
+
+  /// Cancels the event if it has not fired; returns true if this call
+  /// performed the cancellation.
+  bool cancel() noexcept;
+
+  /// True while the event is scheduled and not cancelled/fired.
+  [[nodiscard]] bool pending() const noexcept;
+
+ private:
+  std::weak_ptr<EventRecord> rec_;
+};
+
+/// The calendar itself. Not thread-safe: a simulation is a single logical
+/// timeline (parallel experiments run whole simulators per thread instead).
+class EventQueue {
+ public:
+  EventQueue() : live_(std::make_shared<std::uint64_t>(0)) {}
+
+  /// Schedules `fn` at absolute time `time`; returns a cancellable handle.
+  EventHandle push(SimTime time, EventFn fn);
+
+  /// True when no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const noexcept { return *live_ == 0; }
+
+  /// Number of live events.
+  [[nodiscard]] std::size_t size() const noexcept {
+    return static_cast<std::size_t>(*live_);
+  }
+
+  /// Time of the next live event; throws std::logic_error when empty.
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Removes and returns the next live event record (time order, FIFO on
+  /// ties); throws std::logic_error when empty. Marks the record fired.
+  std::shared_ptr<EventRecord> pop();
+
+  /// Discards all pending events.
+  void clear() noexcept;
+
+ private:
+  static bool before(const EventRecord& a, const EventRecord& b) noexcept;
+  void drop_cancelled_top();
+  void remove_top();
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+
+  std::vector<std::shared_ptr<EventRecord>> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::shared_ptr<std::uint64_t> live_;
+};
+
+}  // namespace nashlb::des

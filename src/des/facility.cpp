@@ -1,0 +1,154 @@
+#include "des/facility.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nashlb::des {
+
+Facility::Facility(Simulator& sim, std::string name, unsigned servers,
+                   PreemptPolicy policy)
+    : sim_(sim), name_(std::move(name)), policy_(policy) {
+  if (servers == 0) {
+    throw std::invalid_argument("Facility: need at least one server");
+  }
+  running_.resize(servers);
+}
+
+std::uint64_t Facility::request(double service_time, int priority,
+                                CompletionFn on_complete) {
+  if (!(service_time > 0.0) || !std::isfinite(service_time)) {
+    throw std::invalid_argument(
+        "Facility::request: service_time must be finite and > 0");
+  }
+  Job job;
+  job.id = next_id_++;
+  job.priority = priority;
+  job.seq = next_seq_++;
+  job.remaining = service_time;
+  job.submitted = sim_.now();
+  job.on_complete = std::move(on_complete);
+  const std::uint64_t id = job.id;
+
+  if (auto server = idle_server()) {
+    start_service(*server, std::move(job));
+    return id;
+  }
+  if (policy_ == PreemptPolicy::Resume) {
+    if (auto server = preemptable_server(priority)) {
+      Running& slot = running_[*server];
+      Job displaced = std::move(*slot.job);
+      // Preemptive-resume: bank the service already received.
+      displaced.remaining -= sim_.now() - slot.started;
+      if (displaced.remaining < 0.0) displaced.remaining = 0.0;
+      slot.completion.cancel();
+      slot.job.reset();
+      --busy_;
+      ++preemptions_;
+      note_busy_change();
+      // Original seq keeps the displaced job ahead of later arrivals of
+      // its class (head-of-class resume).
+      waiting_.emplace(QueueKey{displaced.priority, displaced.seq},
+                       std::move(displaced));
+      note_queue_change();
+      start_service(*server, std::move(job));
+      return id;
+    }
+  }
+  waiting_.emplace(QueueKey{job.priority, job.seq}, std::move(job));
+  note_queue_change();
+  return id;
+}
+
+void Facility::start_service(unsigned server, Job job) {
+  Running& slot = running_[server];
+  if (slot.job) {
+    throw std::logic_error("Facility: starting service on a busy server");
+  }
+  if (!job.ever_started) {
+    wait_stats_.add(sim_.now() - job.submitted);
+    job.ever_started = true;
+  }
+  slot.started = sim_.now();
+  const double quantum = job.remaining;
+  slot.job = std::move(job);
+  ++busy_;
+  note_busy_change();
+  slot.completion = sim_.schedule(
+      quantum, [this, server](SimTime t) { finish_service(server, t); });
+}
+
+void Facility::finish_service(unsigned server, SimTime t) {
+  Running& slot = running_[server];
+  if (!slot.job) {
+    throw std::logic_error("Facility: completion on an idle server");
+  }
+  Job job = std::move(*slot.job);
+  slot.job.reset();
+  --busy_;
+  ++completed_;
+  note_busy_change();
+  // Dispatch the next waiting job before running the completion callback:
+  // the callback may submit new work and must observe a settled facility.
+  try_dispatch();
+  if (job.on_complete) job.on_complete(t);
+}
+
+void Facility::try_dispatch() {
+  while (!waiting_.empty()) {
+    const auto server = idle_server();
+    if (!server) return;
+    auto first = waiting_.begin();
+    Job job = std::move(first->second);
+    waiting_.erase(first);
+    note_queue_change();
+    start_service(*server, std::move(job));
+  }
+}
+
+std::optional<unsigned> Facility::idle_server() const noexcept {
+  for (unsigned i = 0; i < running_.size(); ++i) {
+    if (!running_[i].job) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<unsigned> Facility::preemptable_server(
+    int priority) const noexcept {
+  // Choose the busy server with the lowest priority job; break ties toward
+  // the most recently admitted job (smallest banked service investment on
+  // average). Only strictly lower priority work may be displaced.
+  std::optional<unsigned> victim;
+  for (unsigned i = 0; i < running_.size(); ++i) {
+    const auto& job = running_[i].job;
+    if (!job || job->priority >= priority) continue;
+    if (!victim) {
+      victim = i;
+      continue;
+    }
+    const auto& best = running_[*victim].job;
+    if (job->priority < best->priority ||
+        (job->priority == best->priority && job->seq > best->seq)) {
+      victim = i;
+    }
+  }
+  return victim;
+}
+
+void Facility::note_busy_change() {
+  busy_tw_.update(sim_.now(), static_cast<double>(busy_));
+}
+
+void Facility::note_queue_change() {
+  queue_tw_.update(sim_.now(), static_cast<double>(waiting_.size()));
+}
+
+double Facility::utilization(SimTime now) const noexcept {
+  const double avg_busy = busy_tw_.average(now);
+  return avg_busy / static_cast<double>(running_.size());
+}
+
+double Facility::mean_queue_length(SimTime now) const noexcept {
+  return queue_tw_.average(now);
+}
+
+}  // namespace nashlb::des

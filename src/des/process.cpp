@@ -1,0 +1,27 @@
+#include "des/process.hpp"
+
+namespace nashlb::des {
+
+void spawn(Simulator& sim, Task task) {
+  // Transfer frame ownership to the event closure; from the first resume
+  // on, the coroutine owns itself (final_suspend = suspend_never frees
+  // the frame when the body finishes).
+  auto handle = std::exchange(task.handle_, nullptr);
+  sim.schedule(0.0, [handle](SimTime) { handle.resume(); });
+}
+
+void DelayAwaiter::await_suspend(std::coroutine_handle<> handle) {
+  sim_.schedule(dt_, [this, handle](SimTime t) {
+    resume_time_ = t;
+    handle.resume();
+  });
+}
+
+void ServiceAwaiter::await_suspend(std::coroutine_handle<> handle) {
+  facility_.request(service_time_, priority_, [this, handle](SimTime t) {
+    completion_time_ = t;
+    handle.resume();
+  });
+}
+
+}  // namespace nashlb::des

@@ -1,0 +1,120 @@
+// Process-interaction worldview for the DES engine (C++20 coroutines).
+//
+// Sim++ [4] exposes simulations as *processes* — sequential activities
+// that hold state across waits — in addition to raw event scheduling.
+// This module provides the same worldview on top of the event kernel:
+//
+//   des::Task customer(des::Simulator& sim, des::Facility& cpu) {
+//     co_await des::delay(sim, 1.5);            // think time
+//     co_await des::service(cpu, 0.3);          // queue + run on the CPU
+//     co_await des::delay(sim, 0.5);
+//   }
+//   des::spawn(sim, customer(sim, cpu));
+//
+// Semantics:
+//   * a spawned Task starts at the current simulation time (as a
+//     zero-delay event) and runs until its first co_await;
+//   * `delay(sim, dt)` suspends the process for dt simulated seconds;
+//   * `service(facility, t, prio)` submits a job to the facility and
+//     resumes the process when the job's service completes (the awaited
+//     value is the completion time);
+//   * tasks are detached: the coroutine frame frees itself when the body
+//     finishes. An exception escaping a process body terminates the
+//     program (there is no one to rethrow to) — validate inputs before
+//     suspending.
+//
+// Single-threaded like the rest of the kernel; no synchronization needed.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+#include "des/facility.hpp"
+#include "des/simulator.hpp"
+
+namespace nashlb::des {
+
+/// A detached simulation process. Returned by any coroutine using the
+/// awaitables below; hand it to spawn() to schedule it.
+class Task {
+ public:
+  struct promise_type {
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    // Lazily started: spawn() schedules the first resume.
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    // Self-destruct on completion (detached semantics).
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    [[noreturn]] void unhandled_exception() { std::terminate(); }
+  };
+
+  Task(Task&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&&) = delete;
+
+  /// Destroys a never-spawned task's frame; spawned tasks own themselves.
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+ private:
+  friend void spawn(Simulator& sim, Task task);
+  explicit Task(std::coroutine_handle<promise_type> handle)
+      : handle_(handle) {}
+  std::coroutine_handle<promise_type> handle_;
+};
+
+/// Schedules `task` to start at the current simulation time. The frame
+/// detaches: it frees itself when the process body returns.
+void spawn(Simulator& sim, Task task);
+
+/// Awaitable: suspend the process for `dt >= 0` simulated seconds.
+/// The await expression yields the resume time.
+class DelayAwaiter {
+ public:
+  DelayAwaiter(Simulator& sim, SimTime dt) : sim_(sim), dt_(dt) {}
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> handle);
+  SimTime await_resume() const noexcept { return resume_time_; }
+
+ private:
+  Simulator& sim_;
+  SimTime dt_;
+  SimTime resume_time_ = 0.0;
+};
+
+[[nodiscard]] inline DelayAwaiter delay(Simulator& sim, SimTime dt) {
+  return {sim, dt};
+}
+
+/// Awaitable: submit a job needing `service_time` at `priority` to the
+/// facility; resume when its service completes. Yields the completion
+/// time.
+class ServiceAwaiter {
+ public:
+  ServiceAwaiter(Facility& facility, double service_time, int priority = 0)
+      : facility_(facility), service_time_(service_time),
+        priority_(priority) {}
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> handle);
+  SimTime await_resume() const noexcept { return completion_time_; }
+
+ private:
+  Facility& facility_;
+  double service_time_;
+  int priority_;
+  SimTime completion_time_ = 0.0;
+};
+
+[[nodiscard]] inline ServiceAwaiter service(Facility& facility,
+                                            double service_time,
+                                            int priority = 0) {
+  return {facility, service_time, priority};
+}
+
+}  // namespace nashlb::des

@@ -1,0 +1,84 @@
+// Discrete-event simulation kernel.
+//
+// A clean-room functional substitute for the event-scheduling core of
+// Sim++ (Cubert & Fishwick, 1995 — the paper's reference [4]), which is
+// what §4.1 uses: schedule events, advance a virtual clock, run to a time
+// horizon or event budget. Single-threaded by design; experiment-level
+// parallelism runs independent Simulator instances on separate threads.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "des/event_queue.hpp"
+
+namespace nashlb::des {
+
+/// Why a call to run()/run_until() returned.
+enum class StopReason {
+  Exhausted,    ///< no pending events remain
+  TimeLimit,    ///< the clock reached the requested horizon
+  EventLimit,   ///< the event budget was spent
+  Stopped,      ///< an event called Simulator::stop()
+};
+
+/// The simulation kernel: a clock plus the pending-event calendar.
+class Simulator {
+ public:
+  Simulator() = default;
+
+  // The kernel hands out `this` to facilities/processes; moving it would
+  // silently dangle them.
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time.
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedules `fn` to fire `delay >= 0` time units from now.
+  /// Throws std::invalid_argument on negative or non-finite delay.
+  EventHandle schedule(SimTime delay, EventFn fn);
+
+  /// Schedules `fn` at absolute time `t >= now()`.
+  EventHandle schedule_at(SimTime t, EventFn fn);
+
+  /// Runs until the calendar is empty, an event calls stop(), or the
+  /// event budget (0 = unlimited) is exhausted.
+  StopReason run(std::uint64_t max_events = 0);
+
+  /// Runs until the clock would pass `horizon`. Events at exactly
+  /// `horizon` still fire; the clock never exceeds it.
+  StopReason run_until(SimTime horizon, std::uint64_t max_events = 0);
+
+  /// Executes exactly one event if any is pending; returns whether it did.
+  bool step();
+
+  /// Requests the innermost run()/run_until() to return after the current
+  /// event completes.
+  void stop() noexcept { stop_requested_ = true; }
+
+  /// Total events executed since construction.
+  [[nodiscard]] std::uint64_t events_executed() const noexcept {
+    return events_executed_;
+  }
+
+  /// Number of live pending events.
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return queue_.size();
+  }
+
+  /// Drops all pending events and (optionally) resets the clock. Used
+  /// between replications when reusing a simulator instance.
+  void reset(SimTime t0 = 0.0) noexcept;
+
+ private:
+  void dispatch(const std::shared_ptr<EventRecord>& rec);
+
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t events_executed_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace nashlb::des

@@ -1,0 +1,46 @@
+// Run-queue monitor: how a user of the distributed algorithm observes the
+// system.
+//
+// §2, remark after Theorem 2.2: "the available processing rate can be
+// determined by statistical estimation of the run queue length of each
+// processor". In simulation the exact available rates derive from the
+// current strategy profile; the monitor reports them either exactly
+// (the default — the protocol then reproduces the in-memory dynamics
+// bit-for-bit) or with multiplicative log-normal estimation noise, which
+// the A6 uncertainty bench uses to probe robustness.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.hpp"
+#include "stats/distributions.hpp"
+#include "stats/rng.hpp"
+
+namespace nashlb::distributed {
+
+/// Observes available processing rates on behalf of one user.
+class RateMonitor {
+ public:
+  /// `noise_sigma` is the standard deviation of the log-normal
+  /// multiplicative estimation error; 0 means exact observation.
+  explicit RateMonitor(double noise_sigma = 0.0,
+                       std::uint64_t seed = 0x5eedULL);
+
+  /// Available rates mu^j seen by `user` under `profile`, possibly
+  /// perturbed by estimation noise. Noisy estimates are clamped below the
+  /// true total capacity headroom so a user never *plans* to overload a
+  /// computer it can observe (a real estimator bounds its estimate by the
+  /// processor's nominal rate the same way).
+  [[nodiscard]] std::vector<double> observe(const core::Instance& inst,
+                                            const core::StrategyProfile& s,
+                                            std::size_t user);
+
+  [[nodiscard]] double noise_sigma() const noexcept { return noise_sigma_; }
+
+ private:
+  double noise_sigma_;
+  stats::Xoshiro256 rng_;
+};
+
+}  // namespace nashlb::distributed

@@ -1,0 +1,40 @@
+#include "queueing/mm1.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nashlb::queueing {
+
+MM1::MM1(double lambda, double mu) : lambda_(lambda), mu_(mu) {
+  if (!(mu > 0.0) || !std::isfinite(mu)) {
+    throw std::invalid_argument("MM1: service rate must be finite and > 0");
+  }
+  if (!(lambda >= 0.0) || !(lambda < mu)) {
+    throw std::invalid_argument("MM1: need 0 <= lambda < mu (stability)");
+  }
+}
+
+double MM1::prob_n_in_system(unsigned n) const noexcept {
+  const double rho = utilization();
+  return (1.0 - rho) * std::pow(rho, static_cast<double>(n));
+}
+
+double MM1::response_time_tail(double t) const noexcept {
+  if (t <= 0.0) return 1.0;
+  return std::exp(-(mu_ - lambda_) * t);
+}
+
+double MM1::response_time_variance() const noexcept {
+  const double t = mean_response_time();
+  return t * t;
+}
+
+double mm1_marginal_delay(double lambda, double mu) {
+  if (!(mu > 0.0) || !(lambda >= 0.0) || !(lambda < mu)) {
+    throw std::invalid_argument("mm1_marginal_delay: need 0 <= lambda < mu");
+  }
+  const double slack = mu - lambda;
+  return mu / (slack * slack);
+}
+
+}  // namespace nashlb::queueing

@@ -1,0 +1,69 @@
+// Closed-form M/M/1 queueing analytics (Kleinrock, "Queueing Systems",
+// vol. 1, 1975 — the paper's reference [9]).
+//
+// Each computer in the distributed system model is an M/M/1 queue: Poisson
+// arrivals at rate lambda, exponential service at rate mu, one server,
+// FCFS, infinite waiting room. These formulas are the analytic ground
+// truth the discrete-event simulator is validated against, and the cost
+// model of the load balancing game (F_i(s) = 1/(mu_i - lambda_i)) is the
+// `mean_response_time` below.
+#pragma once
+
+namespace nashlb::queueing {
+
+/// Analytic descriptors of one M/M/1 station.
+///
+/// Construction requires mu > 0 and 0 <= lambda < mu (a stable queue);
+/// throws std::invalid_argument otherwise. All quantities are exact
+/// steady-state values.
+class MM1 {
+ public:
+  MM1(double lambda, double mu);
+
+  [[nodiscard]] double arrival_rate() const noexcept { return lambda_; }
+  [[nodiscard]] double service_rate() const noexcept { return mu_; }
+
+  /// rho = lambda / mu, also the probability the server is busy.
+  [[nodiscard]] double utilization() const noexcept { return lambda_ / mu_; }
+
+  /// T = 1 / (mu - lambda): mean sojourn (response) time. This is the
+  /// F_i(s) of the paper's equation (1).
+  [[nodiscard]] double mean_response_time() const noexcept {
+    return 1.0 / (mu_ - lambda_);
+  }
+
+  /// W = rho / (mu - lambda): mean waiting time in queue (excl. service).
+  [[nodiscard]] double mean_waiting_time() const noexcept {
+    return utilization() / (mu_ - lambda_);
+  }
+
+  /// L = lambda * T: mean number in system (Little's law).
+  [[nodiscard]] double mean_number_in_system() const noexcept {
+    return lambda_ * mean_response_time();
+  }
+
+  /// Lq = lambda * W: mean number waiting in queue.
+  [[nodiscard]] double mean_queue_length() const noexcept {
+    return lambda_ * mean_waiting_time();
+  }
+
+  /// P(N = n) = (1 - rho) rho^n.
+  [[nodiscard]] double prob_n_in_system(unsigned n) const noexcept;
+
+  /// P(T > t) = exp(-(mu - lambda) t): sojourn-time tail.
+  [[nodiscard]] double response_time_tail(double t) const noexcept;
+
+  /// Variance of the sojourn time: 1 / (mu - lambda)^2 (it is exponential).
+  [[nodiscard]] double response_time_variance() const noexcept;
+
+ private:
+  double lambda_;
+  double mu_;
+};
+
+/// Marginal response time d(lambda·T)/d(lambda) = mu / (mu - lambda)^2 —
+/// the derivative that drives every water-filling optimality condition in
+/// this repository (Theorem 2.1 KKT, GOS aggregate optimum).
+[[nodiscard]] double mm1_marginal_delay(double lambda, double mu);
+
+}  // namespace nashlb::queueing

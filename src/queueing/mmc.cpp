@@ -1,0 +1,60 @@
+#include "queueing/mmc.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nashlb::queueing {
+
+double erlang_c(unsigned servers, double offered_load) {
+  if (servers == 0) {
+    throw std::invalid_argument("erlang_c: need at least one server");
+  }
+  const double a = offered_load;
+  const double c = static_cast<double>(servers);
+  if (!(a >= 0.0) || !(a < c)) {
+    throw std::invalid_argument("erlang_c: need 0 <= offered load < c");
+  }
+  if (a == 0.0) return 0.0;
+
+  // Recurrence on the Erlang-B blocking probability (numerically stable):
+  // B(0, a) = 1; B(k, a) = a B(k-1, a) / (k + a B(k-1, a)).
+  double b = 1.0;
+  for (unsigned k = 1; k <= servers; ++k) {
+    b = a * b / (static_cast<double>(k) + a * b);
+  }
+  // Erlang-C from Erlang-B: C = B / (1 - rho (1 - B)), rho = a / c.
+  const double rho = a / c;
+  return b / (1.0 - rho * (1.0 - b));
+}
+
+MMC::MMC(double lambda, double mu_core, unsigned servers)
+    : lambda_(lambda), mu_(mu_core), c_(servers) {
+  if (c_ == 0 || !(mu_core > 0.0) || !std::isfinite(mu_core)) {
+    throw std::invalid_argument("MMC: need servers >= 1 and mu_core > 0");
+  }
+  if (!(lambda >= 0.0) || !(lambda < mu_core * static_cast<double>(c_))) {
+    throw std::invalid_argument("MMC: need 0 <= lambda < c * mu (stability)");
+  }
+}
+
+double MMC::utilization() const noexcept {
+  return lambda_ / (mu_ * static_cast<double>(c_));
+}
+
+double MMC::wait_probability() const { return erlang_c(c_, lambda_ / mu_); }
+
+double MMC::mean_waiting_time() const {
+  if (lambda_ == 0.0) return 0.0;
+  return wait_probability() /
+         (static_cast<double>(c_) * mu_ - lambda_);
+}
+
+double MMC::mean_response_time() const {
+  return mean_waiting_time() + 1.0 / mu_;
+}
+
+double MMC::mean_number_in_system() const {
+  return lambda_ * mean_response_time();
+}
+
+}  // namespace nashlb::queueing

@@ -1,0 +1,50 @@
+// M/M/c queueing analytics (Erlang-C) — the multi-core extension of the
+// computer model.
+//
+// The paper models each computer as M/M/1. A natural generalization —
+// needed the moment a "computer" is a multi-core node — is M/M/c: Poisson
+// arrivals, c parallel exponential servers of rate mu_core each, a single
+// FCFS queue. The generic best-reply solver (core/convex_reply.hpp)
+// consumes these formulas through the DelayModel interface, extending the
+// load balancing game beyond the closed-form M/M/1 case.
+#pragma once
+
+namespace nashlb::queueing {
+
+/// Erlang-C: probability an arriving job waits in an M/M/c queue with
+/// offered load a = lambda / mu_core and c servers. Requires a < c.
+[[nodiscard]] double erlang_c(unsigned servers, double offered_load);
+
+/// Analytic descriptors of one M/M/c station.
+class MMC {
+ public:
+  /// `servers >= 1`, `mu_core > 0`, `0 <= lambda < servers * mu_core`.
+  /// Throws std::invalid_argument otherwise.
+  MMC(double lambda, double mu_core, unsigned servers);
+
+  [[nodiscard]] double arrival_rate() const noexcept { return lambda_; }
+  [[nodiscard]] double core_rate() const noexcept { return mu_; }
+  [[nodiscard]] unsigned servers() const noexcept { return c_; }
+
+  /// rho = lambda / (c * mu): per-server utilization.
+  [[nodiscard]] double utilization() const noexcept;
+
+  /// P(wait) — the Erlang-C probability.
+  [[nodiscard]] double wait_probability() const;
+
+  /// Mean waiting time in queue: C(c, a) / (c mu - lambda).
+  [[nodiscard]] double mean_waiting_time() const;
+
+  /// Mean sojourn time: Wq + 1/mu. Collapses to the M/M/1 value for c=1.
+  [[nodiscard]] double mean_response_time() const;
+
+  /// Mean number in system (Little).
+  [[nodiscard]] double mean_number_in_system() const;
+
+ private:
+  double lambda_;
+  double mu_;
+  unsigned c_;
+};
+
+}  // namespace nashlb::queueing

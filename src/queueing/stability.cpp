@@ -1,0 +1,44 @@
+#include "queueing/stability.hpp"
+
+#include <stdexcept>
+
+namespace nashlb::queueing {
+
+bool all_stations_stable(std::span<const double> lambda,
+                         std::span<const double> mu, double margin) {
+  if (lambda.size() != mu.size()) {
+    throw std::invalid_argument("all_stations_stable: size mismatch");
+  }
+  for (std::size_t i = 0; i < lambda.size(); ++i) {
+    if (!(lambda[i] >= 0.0)) return false;
+    if (!(lambda[i] < mu[i] - margin)) return false;
+  }
+  return true;
+}
+
+bool system_stable(double total_arrival_rate, std::span<const double> mu) {
+  return total_arrival_rate >= 0.0 &&
+         total_arrival_rate < total_capacity(mu);
+}
+
+double system_utilization(double total_arrival_rate,
+                          std::span<const double> mu) {
+  const double cap = total_capacity(mu);
+  if (!(cap > 0.0)) {
+    throw std::invalid_argument("system_utilization: zero capacity");
+  }
+  return total_arrival_rate / cap;
+}
+
+double total_capacity(std::span<const double> mu) {
+  double cap = 0.0;
+  for (double m : mu) {
+    if (!(m > 0.0)) {
+      throw std::invalid_argument("total_capacity: rates must be > 0");
+    }
+    cap += m;
+  }
+  return cap;
+}
+
+}  // namespace nashlb::queueing

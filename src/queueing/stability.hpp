@@ -1,0 +1,31 @@
+// Stability predicates for a farm of M/M/1 computers.
+//
+// The game's feasibility constraint (iii) requires every computer's total
+// arrival rate to stay strictly below its processing rate, and the system
+// as a whole needs total demand Phi < sum_i mu_i. These checks appear in
+// three places — input validation, post-solve assertions on every scheme's
+// strategy, and the simulator's configuration guard — so they live here.
+#pragma once
+
+#include <span>
+
+namespace nashlb::queueing {
+
+/// True iff 0 <= lambda[i] < mu[i] for all i (with slack `margin`:
+/// lambda[i] <= mu[i] - margin). Sizes must match.
+[[nodiscard]] bool all_stations_stable(std::span<const double> lambda,
+                                       std::span<const double> mu,
+                                       double margin = 0.0);
+
+/// True iff total demand is strictly less than aggregate capacity.
+[[nodiscard]] bool system_stable(double total_arrival_rate,
+                                 std::span<const double> mu);
+
+/// System utilization rho = Phi / sum_i mu_i (the x-axis of Figure 4).
+[[nodiscard]] double system_utilization(double total_arrival_rate,
+                                        std::span<const double> mu);
+
+/// Aggregate processing rate sum_i mu_i.
+[[nodiscard]] double total_capacity(std::span<const double> mu);
+
+}  // namespace nashlb::queueing

@@ -1,0 +1,72 @@
+#include "schemes/gos.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/waterfill.hpp"
+
+namespace nashlb::schemes {
+
+std::vector<double> GlobalOptimalScheme::optimal_loads(
+    const core::Instance& inst) {
+  inst.validate();
+  return core::waterfill_sqrt(inst.mu, inst.total_arrival_rate()).lambda;
+}
+
+core::StrategyProfile GlobalOptimalScheme::solve(
+    const core::Instance& inst) const {
+  inst.validate();
+  const std::size_t m = inst.num_users();
+  const std::size_t n = inst.num_computers();
+  const std::vector<double> lambda = optimal_loads(inst);
+  const double phi_total = inst.total_arrival_rate();
+
+  core::StrategyProfile s(m, n);
+  if (split_ == GosSplit::Uniform) {
+    for (std::size_t j = 0; j < m; ++j) {
+      for (std::size_t i = 0; i < n; ++i) {
+        s.set(j, i, lambda[i] / phi_total);
+      }
+    }
+    return s;
+  }
+
+  // GreedyFill: visit computers from fastest to slowest; each user in
+  // index order pours its whole flow into the first computers with spare
+  // optimal load. Totals per computer match lambda* exactly, so the
+  // overall response time is still the global optimum.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return inst.mu[a] > inst.mu[b];
+  });
+
+  std::vector<double> room = lambda;  // unfilled share of each computer
+  std::size_t cursor = 0;             // index into `order`
+  for (std::size_t j = 0; j < m; ++j) {
+    double rest = inst.phi[j];
+    while (rest > 0.0 && cursor < n) {
+      const std::size_t i = order[cursor];
+      const double take = std::min(rest, room[i]);
+      if (take > 0.0) {
+        s.set(j, i, s.at(j, i) + take / inst.phi[j]);
+        room[i] -= take;
+        rest -= take;
+      }
+      if (room[i] <= 1e-15 * inst.mu[i]) {
+        ++cursor;
+      } else if (rest <= 0.0) {
+        break;
+      }
+    }
+    // Rounding can leave a sliver unassigned after the last computer with
+    // room; park it on the final visited computer (share is O(ulp)).
+    if (rest > 0.0) {
+      const std::size_t i = order[std::min(cursor, n - 1)];
+      s.set(j, i, s.at(j, i) + rest / inst.phi[j]);
+    }
+  }
+  return s;
+}
+
+}  // namespace nashlb::schemes

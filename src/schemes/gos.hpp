@@ -1,0 +1,51 @@
+// Global Optimal Scheme — GOS (Kim & Kameda 1992, the paper's [8]).
+//
+// Minimizes the overall expected response time D(s) over all jobs. The
+// objective depends on the profile only through the aggregate loads
+// lambda_i, so the optimum decomposes into (a) the aggregate water-filling
+// allocation lambda* = argmin sum_i lambda_i/(mu_i - lambda_i) with
+// sum lambda_i = Phi (the sqrt rule, waterfill.hpp) and (b) a per-user
+// split realizing those aggregates.
+//
+// The split is where GOS's unfairness comes from: the objective does not
+// care which user's jobs fill which computer. Figure 5 shows the authors'
+// GOS produced very unequal user response times; we model that with the
+// GreedyFill policy (users in index order fill the fastest computers'
+// optimal loads first, so early users monopolize fast machines and late
+// users are pushed to slow ones). The Uniform policy — every user adopts
+// fractions lambda*_i/Phi — attains the *same* overall optimum with
+// fairness exactly 1, and exists to show (ablation A1) that GOS's
+// unfairness is a property of the split, not of optimality.
+#pragma once
+
+#include "schemes/scheme.hpp"
+
+namespace nashlb::schemes {
+
+/// How the aggregate-optimal loads are divided among users.
+enum class GosSplit {
+  GreedyFill,  ///< sequential fill; unfair (reproduces Figure 5's GOS)
+  Uniform,     ///< identical fractions for all users; fair
+};
+
+class GlobalOptimalScheme final : public Scheme {
+ public:
+  explicit GlobalOptimalScheme(GosSplit split = GosSplit::GreedyFill)
+      : split_(split) {}
+
+  [[nodiscard]] std::string name() const override { return "GOS"; }
+  [[nodiscard]] core::StrategyProfile solve(
+      const core::Instance& inst) const override;
+
+  /// The aggregate-optimal per-computer loads lambda* (exposed because the
+  /// GOS benches compare simulated loads against it).
+  [[nodiscard]] static std::vector<double> optimal_loads(
+      const core::Instance& inst);
+
+  [[nodiscard]] GosSplit split() const noexcept { return split_; }
+
+ private:
+  GosSplit split_;
+};
+
+}  // namespace nashlb::schemes

@@ -1,0 +1,95 @@
+#include "schemes/ios.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/waterfill.hpp"
+
+namespace nashlb::schemes {
+
+std::vector<double> IndividualOptimalScheme::wardrop_loads(
+    const core::Instance& inst) {
+  inst.validate();
+  return core::waterfill_linear(inst.mu, inst.total_arrival_rate()).lambda;
+}
+
+core::StrategyProfile IndividualOptimalScheme::solve(
+    const core::Instance& inst) const {
+  inst.validate();
+  const std::vector<double> lambda = wardrop_loads(inst);
+  const double phi_total = inst.total_arrival_rate();
+  core::StrategyProfile s(inst.num_users(), inst.num_computers());
+  for (std::size_t j = 0; j < inst.num_users(); ++j) {
+    for (std::size_t i = 0; i < inst.num_computers(); ++i) {
+      s.set(j, i, lambda[i] / phi_total);
+    }
+  }
+  return s;
+}
+
+IosIterativeResult ios_iterative(const core::Instance& inst, double tol,
+                                 std::size_t max_iters, double relaxation) {
+  inst.validate();
+  if (!(relaxation > 0.0) || !(relaxation <= 1.0)) {
+    throw std::invalid_argument("ios_iterative: relaxation must be in (0,1]");
+  }
+  const std::size_t n = inst.num_computers();
+  const double phi_total = inst.total_arrival_rate();
+  const double cap = inst.total_capacity();
+
+  IosIterativeResult res;
+  res.loads.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    res.loads[i] = phi_total * inst.mu[i] / cap;  // proportional start
+  }
+
+  // Hub: the fastest computer (always loaded at a Wardrop equilibrium of
+  // a stable system, since an idle computer may not be faster than the
+  // common response level).
+  std::size_t hub = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (inst.mu[i] > inst.mu[hub]) hub = i;
+  }
+
+  for (std::size_t iter = 1; iter <= max_iters; ++iter) {
+    res.iterations = iter;
+    // One Gauss–Seidel sweep of pairwise equalizations against the hub:
+    // for the pair (i, hub) with combined flow s, the equal-response
+    // split solves mu_i - l_i = mu_hub - l_hub, i.e.
+    // l_i* = (s + mu_i - mu_hub) / 2, clamped to [0, s]. Each pair move
+    // is exact coordinate descent on the Beckmann potential
+    // sum_i -ln(mu_i - l_i); `relaxation` damps the step.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == hub) continue;
+      const double s = res.loads[i] + res.loads[hub];
+      double target = 0.5 * (s + inst.mu[i] - inst.mu[hub]);
+      target = std::min(std::max(target, 0.0), s);
+      const double next_i =
+          res.loads[i] + relaxation * (target - res.loads[i]);
+      res.loads[hub] += res.loads[i] - next_i;
+      res.loads[i] = next_i;
+    }
+
+    // Convergence: response-time spread over loaded computers, and no
+    // idle computer faster than the common level.
+    double f_min = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      f_min = std::min(f_min, 1.0 / (inst.mu[i] - res.loads[i]));
+    }
+    double worst_gap = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (res.loads[i] > 1e-12 * phi_total) {
+        worst_gap =
+            std::max(worst_gap, 1.0 / (inst.mu[i] - res.loads[i]) - f_min);
+      }
+    }
+    if (worst_gap <= tol * f_min) {
+      res.converged = true;
+      return res;
+    }
+  }
+  return res;
+}
+
+}  // namespace nashlb::schemes

@@ -1,0 +1,57 @@
+// Individual Optimal Scheme — IOS (Kameda, Li, Kim & Zhang 1997, the
+// paper's [6]): every *job* optimizes its own response time, which in the
+// infinite-player limit yields the Wardrop equilibrium — expected response
+// times equal on every computer that receives traffic, and no unused
+// computer faster than that common value.
+//
+// For parallel M/M/1 computers the Wardrop equilibrium has a closed form
+// (the linear water-filling of waterfill.hpp). The reference algorithm in
+// [6] is iterative and "not very efficient" (§4.2); we provide both:
+//   * IndividualOptimalScheme      — exact, closed form;
+//   * ios_iterative(...)           — a faithful flow-deviation style
+//     iteration, used by the ablation bench to show how many sweeps the
+//     iterative method needs for the same answer.
+//
+// Every user adopts the same fractions lambda*_i / Phi, so IOS gives all
+// users identical expected response times: fairness index exactly 1.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "schemes/scheme.hpp"
+
+namespace nashlb::schemes {
+
+class IndividualOptimalScheme final : public Scheme {
+ public:
+  [[nodiscard]] std::string name() const override { return "IOS"; }
+  [[nodiscard]] core::StrategyProfile solve(
+      const core::Instance& inst) const override;
+
+  /// The Wardrop-equilibrium aggregate loads lambda* (closed form).
+  [[nodiscard]] static std::vector<double> wardrop_loads(
+      const core::Instance& inst);
+};
+
+/// Result of the iterative Wardrop computation.
+struct IosIterativeResult {
+  std::vector<double> loads;     ///< final per-computer arrival rates
+  std::size_t iterations = 0;    ///< sweeps executed
+  bool converged = false;        ///< response-time spread <= tol on support
+};
+
+/// Flow-deviation iteration for the Wardrop equilibrium: starting from the
+/// proportional allocation, each sweep moves a `relaxation` share of the
+/// excess flow from every above-average computer toward the currently
+/// fastest-responding one, until the response-time spread over loaded
+/// computers drops below `tol`.
+///
+/// `relaxation` in (0, 1]; small values converge slowly (that is the point
+/// of the ablation), large values can oscillate.
+[[nodiscard]] IosIterativeResult ios_iterative(const core::Instance& inst,
+                                               double tol = 1e-8,
+                                               std::size_t max_iters = 100000,
+                                               double relaxation = 0.5);
+
+}  // namespace nashlb::schemes

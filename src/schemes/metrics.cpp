@@ -1,0 +1,22 @@
+#include "schemes/metrics.hpp"
+
+#include "core/cost.hpp"
+#include "stats/fairness.hpp"
+
+namespace nashlb::schemes {
+
+Metrics evaluate(const core::Instance& inst,
+                 const core::StrategyProfile& profile) {
+  Metrics m;
+  m.user_response_times = core::user_response_times(inst, profile);
+  m.overall_response_time = core::overall_response_time(inst, profile);
+  m.fairness = stats::fairness_index(m.user_response_times);
+  m.loads = profile.loads(inst);
+  m.computer_utilization.resize(m.loads.size());
+  for (std::size_t i = 0; i < m.loads.size(); ++i) {
+    m.computer_utilization[i] = m.loads[i] / inst.mu[i];
+  }
+  return m;
+}
+
+}  // namespace nashlb::schemes

@@ -1,0 +1,30 @@
+// Uniform performance metrics of a scheme's allocation — exactly the
+// quantities the paper's figures report.
+#pragma once
+
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace nashlb::schemes {
+
+/// Analytic steady-state metrics of a strategy profile.
+struct Metrics {
+  /// D(s): job-weighted mean response time over the whole system
+  /// (y-axis of Figures 4 and 6).
+  double overall_response_time = 0.0;
+  /// D_j(s) per user (Figure 5).
+  std::vector<double> user_response_times;
+  /// Jain's fairness index over the D_j vector (Figures 4 and 6).
+  double fairness = 1.0;
+  /// Total arrival rate per computer.
+  std::vector<double> loads;
+  /// Per-computer utilization lambda_i / mu_i.
+  std::vector<double> computer_utilization;
+};
+
+/// Evaluates `profile` on `inst` analytically (M/M/1 formulas).
+[[nodiscard]] Metrics evaluate(const core::Instance& inst,
+                               const core::StrategyProfile& profile);
+
+}  // namespace nashlb::schemes

@@ -1,0 +1,11 @@
+#include "schemes/ps.hpp"
+
+namespace nashlb::schemes {
+
+core::StrategyProfile ProportionalScheme::solve(
+    const core::Instance& inst) const {
+  inst.validate();
+  return core::StrategyProfile::proportional(inst);
+}
+
+}  // namespace nashlb::schemes

@@ -1,0 +1,22 @@
+// Proportional Scheme — PS (Chow & Kohler 1979, the paper's [3]).
+//
+// Every user allocates its jobs to computers in proportion to their
+// processing rates: s_ji = mu_i / sum_k mu_k. All users get identical
+// expected response times, so PS has fairness index exactly 1 at every
+// load; but the slow computers run at the same utilization as the fast
+// ones, which at high system load makes PS's mean response time the worst
+// of the compared schemes (Figures 4–6).
+#pragma once
+
+#include "schemes/scheme.hpp"
+
+namespace nashlb::schemes {
+
+class ProportionalScheme final : public Scheme {
+ public:
+  [[nodiscard]] std::string name() const override { return "PS"; }
+  [[nodiscard]] core::StrategyProfile solve(
+      const core::Instance& inst) const override;
+};
+
+}  // namespace nashlb::schemes

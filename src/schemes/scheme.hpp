@@ -1,0 +1,34 @@
+// Common interface of every static load balancing scheme (§4.2).
+//
+// A scheme maps a problem instance to a full strategy profile. The four
+// schemes of the paper's comparison — PS, GOS, IOS and NASH — plus the
+// cooperative NBS extension all implement this interface, so benches and
+// examples can sweep over them uniformly.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/types.hpp"
+
+namespace nashlb::schemes {
+
+/// Interface: produce the scheme's strategy profile for an instance.
+class Scheme {
+ public:
+  virtual ~Scheme() = default;
+
+  /// Short display name ("NASH", "GOS", "IOS", "PS", "NBS").
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Computes the scheme's allocation. The returned profile satisfies the
+  /// paper's feasibility constraints (positivity, conservation, stability)
+  /// for any valid instance. Throws std::invalid_argument on an invalid
+  /// instance (e.g. total demand >= total capacity).
+  [[nodiscard]] virtual core::StrategyProfile solve(
+      const core::Instance& inst) const = 0;
+};
+
+using SchemePtr = std::shared_ptr<const Scheme>;
+
+}  // namespace nashlb::schemes

@@ -1,0 +1,76 @@
+#include "schemes/stackelberg.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/cost.hpp"
+#include "core/waterfill.hpp"
+
+namespace nashlb::schemes {
+
+std::vector<double> StackelbergResult::total_flow() const {
+  std::vector<double> total(leader_flow.size());
+  for (std::size_t i = 0; i < total.size(); ++i) {
+    total[i] = leader_flow[i] + follower_flow[i];
+  }
+  return total;
+}
+
+StackelbergResult stackelberg_llf(const core::Instance& inst, double beta) {
+  inst.validate();
+  if (!(beta >= 0.0 && beta <= 1.0)) {
+    throw std::invalid_argument("stackelberg_llf: beta must be in [0, 1]");
+  }
+  const std::size_t n = inst.num_computers();
+  const double phi = inst.total_arrival_rate();
+  const double leader_budget = beta * phi;
+  const double follower_budget = phi - leader_budget;
+
+  StackelbergResult res;
+  res.leader_flow.assign(n, 0.0);
+  res.follower_flow.assign(n, 0.0);
+
+  // Globally optimal flow o* (the sqrt rule).
+  const core::WaterfillResult opt = core::waterfill_sqrt(inst.mu, phi);
+
+  // LLF: saturate machines in order of decreasing latency under o*
+  // (for the sqrt rule, latency 1/(mu_i - o_i) = 1/(sqrt(mu_i) t) is
+  // *decreasing* in mu_i, so LLF fills the slowest machines first),
+  // assigning each chosen machine its optimal flow o*_i.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     const double la = inst.mu[a] - opt.lambda[a];
+                     const double lb = inst.mu[b] - opt.lambda[b];
+                     return 1.0 / la > 1.0 / lb;
+                   });
+  double remaining = leader_budget;
+  for (std::size_t k = 0; k < n && remaining > 0.0; ++k) {
+    const std::size_t i = order[k];
+    const double take = std::min(remaining, opt.lambda[i]);
+    res.leader_flow[i] = take;
+    remaining -= take;
+  }
+
+  // Followers: Wardrop equilibrium over the residual capacities
+  // mu_i - leader_flow_i (the leader's jobs are background traffic).
+  if (follower_budget > 0.0) {
+    std::vector<double> residual(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      residual[i] = inst.mu[i] - res.leader_flow[i];
+    }
+    const core::WaterfillResult wardrop =
+        core::waterfill_linear(residual, follower_budget);
+    res.follower_flow = wardrop.lambda;
+  }
+  return res;
+}
+
+double stackelberg_response_time(const core::Instance& inst,
+                                 const StackelbergResult& r) {
+  return core::overall_response_time_from_loads(r.total_flow(), inst.mu);
+}
+
+}  // namespace nashlb::schemes

@@ -1,0 +1,43 @@
+// Stackelberg load balancing — the leader/follower model of Roughgarden
+// (STOC 2001), cited in the paper's "Past results" as the other
+// game-theoretic approach to this exact system (parallel M/M/1 machines).
+//
+// A fraction beta of the total flow is centrally controlled (the leader);
+// the remaining (1-beta) belongs to infinitesimally small selfish jobs
+// that settle into a Wardrop equilibrium *given* the leader's placement.
+// Computing the optimal leader strategy is NP-hard; Roughgarden's
+// Largest-Latency-First (LLF) heuristic assigns the leader's budget to
+// the machines that are slowest under the globally optimal flow — with
+// the guarantee (for M/M/1 latencies) that the induced flow costs at most
+// 1/beta times the optimum.
+//
+// beta = 0 reduces to IOS (pure Wardrop); beta = 1 to GOS (pure optimum):
+// the scheme interpolates between the paper's two baseline extremes.
+#pragma once
+
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace nashlb::schemes {
+
+/// Result of the LLF Stackelberg computation (aggregate flows).
+struct StackelbergResult {
+  std::vector<double> leader_flow;    ///< centrally placed flow
+  std::vector<double> follower_flow;  ///< induced Wardrop flow
+  /// Total (leader + follower) arrival rate at each computer.
+  [[nodiscard]] std::vector<double> total_flow() const;
+};
+
+/// Computes the LLF leader placement for leader share `beta` in [0, 1]
+/// and the induced Wardrop equilibrium of the followers on `inst`'s
+/// computers. Throws std::invalid_argument for beta outside [0, 1] or an
+/// invalid instance.
+[[nodiscard]] StackelbergResult stackelberg_llf(const core::Instance& inst,
+                                                double beta);
+
+/// Overall expected response time of the induced flow.
+[[nodiscard]] double stackelberg_response_time(const core::Instance& inst,
+                                               const StackelbergResult& r);
+
+}  // namespace nashlb::schemes

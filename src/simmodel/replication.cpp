@@ -1,0 +1,79 @@
+#include "simmodel/replication.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+namespace nashlb::simmodel {
+
+ReplicatedResult replicate(const core::Instance& inst,
+                           const core::StrategyProfile& profile,
+                           const ReplicationConfig& config) {
+  if (config.replications < 2) {
+    throw std::invalid_argument(
+        "replicate: need at least two replications for intervals");
+  }
+  const std::size_t r_total = config.replications;
+  std::vector<SimRunResult> runs(r_total);
+
+  std::size_t workers = config.threads;
+  if (workers == 0) {
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers = std::min(workers, r_total);
+
+  // Work-stealing by atomic counter: replication r is fully determined by
+  // its index, so scheduling order cannot affect results.
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t r = next.fetch_add(1);
+      if (r >= r_total) return;
+      SimConfig cfg = config.base;
+      cfg.replication = r;
+      runs[r] = simulate(inst, profile, cfg);
+    }
+  };
+  if (workers == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  const std::size_t m = inst.num_users();
+  const std::size_t n = inst.num_computers();
+  ReplicatedResult out;
+  out.user_response.reserve(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    std::vector<double> means;
+    means.reserve(r_total);
+    for (const SimRunResult& run : runs) {
+      means.push_back(run.user_mean_response[j]);
+    }
+    out.user_response.push_back(stats::t_interval(means, config.confidence));
+  }
+  {
+    std::vector<double> means;
+    means.reserve(r_total);
+    for (const SimRunResult& run : runs) {
+      means.push_back(run.overall_mean_response);
+    }
+    out.overall_response = stats::t_interval(means, config.confidence);
+  }
+  out.computer_utilization.assign(n, 0.0);
+  for (const SimRunResult& run : runs) {
+    out.total_jobs += run.jobs_generated;
+    for (std::size_t i = 0; i < n; ++i) {
+      out.computer_utilization[i] +=
+          run.computer_utilization[i] / static_cast<double>(r_total);
+    }
+  }
+  out.runs = std::move(runs);
+  return out;
+}
+
+}  // namespace nashlb::simmodel

@@ -1,0 +1,147 @@
+#include "simmodel/system_sim.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "des/facility.hpp"
+#include "des/simulator.hpp"
+#include "stats/distributions.hpp"
+#include "stats/moments.hpp"
+#include "stats/rng.hpp"
+
+namespace nashlb::simmodel {
+namespace {
+
+// Stream-id layout within a replication: one arrival stream and one
+// dispatch stream per user, one service stream per computer.
+enum StreamKind : std::uint64_t {
+  kArrival = 0,
+  kDispatch = 1,
+  kService = 2,
+};
+
+std::uint64_t stream_id(StreamKind kind, std::size_t index) {
+  return static_cast<std::uint64_t>(kind) * 4096 +
+         static_cast<std::uint64_t>(index);
+}
+
+}  // namespace
+
+SimRunResult simulate(const core::Instance& inst,
+                      const core::StrategyProfile& profile,
+                      const SimConfig& config) {
+  inst.validate();
+  if (!profile.is_feasible(inst, 1e-7)) {
+    throw std::invalid_argument("simulate: profile is not feasible");
+  }
+  if (!(config.horizon > 0.0) || !(config.warmup >= 0.0) ||
+      !(config.warmup < config.horizon)) {
+    throw std::invalid_argument(
+        "simulate: need 0 <= warmup < horizon, horizon > 0");
+  }
+
+  const std::size_t m = inst.num_users();
+  const std::size_t n = inst.num_computers();
+
+  des::Simulator sim;
+  // Per-replication stream family: replication r of the same experiment
+  // uses disjoint streams, exactly the paper's replication discipline.
+  const stats::RngStreams streams(config.seed);
+
+  // Computers: one single-server FCFS facility each.
+  std::vector<std::unique_ptr<des::Facility>> computers;
+  computers.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    computers.push_back(std::make_unique<des::Facility>(
+        sim, "computer-" + std::to_string(i), 1, des::PreemptPolicy::None));
+  }
+
+  // Per-source RNG state.
+  std::vector<stats::Xoshiro256> arrival_rng;
+  std::vector<stats::Xoshiro256> dispatch_rng;
+  std::vector<stats::Xoshiro256> service_rng;
+  for (std::size_t j = 0; j < m; ++j) {
+    arrival_rng.push_back(
+        streams.stream(config.replication, stream_id(kArrival, j)));
+    dispatch_rng.push_back(
+        streams.stream(config.replication, stream_id(kDispatch, j)));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    service_rng.push_back(
+        streams.stream(config.replication, stream_id(kService, i)));
+  }
+
+  std::vector<stats::Exponential> interarrival;
+  interarrival.reserve(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    interarrival.emplace_back(inst.phi[j]);
+  }
+  std::vector<stats::Exponential> service;
+  service.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    service.emplace_back(inst.mu[i]);
+  }
+
+  // Dispatch tables: alias samplers over each user's strategy row. Rows
+  // can carry exact zeros (inactive computers); Discrete never draws them.
+  std::vector<stats::Discrete> dispatch;
+  dispatch.reserve(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    dispatch.emplace_back(profile.row(j));
+  }
+
+  SimRunResult result;
+  result.user_mean_response.assign(m, 0.0);
+  result.user_jobs.assign(m, 0);
+  result.computer_utilization.assign(n, 0.0);
+  result.computer_mean_response.assign(n, 0.0);
+  result.computer_jobs.assign(n, 0);
+  result.computer_mean_queue.assign(n, 0.0);
+  std::vector<stats::RunningStats> user_stats(m);
+  std::vector<stats::RunningStats> computer_stats(n);
+  stats::RunningStats overall_stats;
+
+  // Job generation: each user is a self-rescheduling arrival process that
+  // stops spawning at the horizon; in-flight jobs drain afterwards.
+  std::function<void(std::size_t)> spawn_next = [&](std::size_t user) {
+    const double gap = interarrival[user].sample(arrival_rng[user]);
+    const double arrival_time = sim.now() + gap;
+    if (arrival_time > config.horizon) return;
+    sim.schedule(gap, [&, user](des::SimTime t_arrival) {
+      ++result.jobs_generated;
+      const std::size_t target = dispatch[user].sample(dispatch_rng[user]);
+      const double service_time = service[target].sample(service_rng[target]);
+      computers[target]->request(
+          service_time, [&, user, target, t_arrival](des::SimTime t_done) {
+            ++result.jobs_completed;
+            if (t_arrival >= config.warmup) {
+              const double response = t_done - t_arrival;
+              user_stats[user].add(response);
+              computer_stats[target].add(response);
+              overall_stats.add(response);
+              if (config.on_sample) config.on_sample(user, response);
+            }
+          });
+      spawn_next(user);
+    });
+  };
+  for (std::size_t j = 0; j < m; ++j) spawn_next(j);
+
+  sim.run();  // drains: generation stops at the horizon
+
+  for (std::size_t j = 0; j < m; ++j) {
+    result.user_mean_response[j] = user_stats[j].mean();
+    result.user_jobs[j] = user_stats[j].count();
+  }
+  result.overall_mean_response = overall_stats.mean();
+  result.end_time = sim.now();
+  for (std::size_t i = 0; i < n; ++i) {
+    result.computer_utilization[i] = computers[i]->utilization(sim.now());
+    result.computer_mean_response[i] = computer_stats[i].mean();
+    result.computer_jobs[i] = computer_stats[i].count();
+    result.computer_mean_queue[i] = computers[i]->mean_queue_length(sim.now());
+  }
+  return result;
+}
+
+}  // namespace nashlb::simmodel

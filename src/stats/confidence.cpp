@@ -1,0 +1,126 @@
+#include "stats/confidence.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace nashlb::stats {
+namespace {
+
+// Continued-fraction core of the incomplete beta (Numerical-Recipes-style
+// modified Lentz iteration).
+double beta_cf(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-14;
+  constexpr double kTiny = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) {
+  if (!(a > 0.0) || !(b > 0.0)) {
+    throw std::invalid_argument("incomplete_beta: a, b must be > 0");
+  }
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) -
+                          std::lgamma(b) + a * std::log(x) +
+                          b * std::log1p(-x);
+  const double front = std::exp(ln_front);
+  // Use the symmetry that keeps the continued fraction rapidly convergent.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_cf(a, b, x) / a;
+  }
+  return 1.0 - front * beta_cf(b, a, 1.0 - x) / b;
+}
+
+double student_t_cdf(double t, double dof) {
+  if (!(dof > 0.0)) {
+    throw std::invalid_argument("student_t_cdf: dof must be > 0");
+  }
+  if (t == 0.0) return 0.5;
+  const double x = dof / (dof + t * t);
+  const double p = 0.5 * incomplete_beta(0.5 * dof, 0.5, x);
+  return t > 0.0 ? 1.0 - p : p;
+}
+
+double student_t_critical(double confidence, double dof) {
+  if (!(confidence > 0.0) || !(confidence < 1.0)) {
+    throw std::invalid_argument(
+        "student_t_critical: confidence must be in (0, 1)");
+  }
+  if (!(dof >= 1.0)) {
+    throw std::invalid_argument("student_t_critical: dof must be >= 1");
+  }
+  const double target = 0.5 + 0.5 * confidence;  // upper-tail CDF value
+  double lo = 0.0;
+  double hi = 1.0;
+  while (student_t_cdf(hi, dof) < target) hi *= 2.0;  // bracket
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (student_t_cdf(mid, dof) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-12 * (1.0 + hi)) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double ConfidenceInterval::relative_half_width() const noexcept {
+  if (mean == 0.0) return std::numeric_limits<double>::infinity();
+  return std::fabs(half_width / mean);
+}
+
+ConfidenceInterval t_interval(const std::vector<double>& replication_means,
+                              double confidence) {
+  const std::size_t r = replication_means.size();
+  if (r < 2) {
+    throw std::invalid_argument("t_interval: need at least two replications");
+  }
+  double mean = 0.0;
+  for (double v : replication_means) mean += v;
+  mean /= static_cast<double>(r);
+  double ss = 0.0;
+  for (double v : replication_means) ss += (v - mean) * (v - mean);
+  const double sample_sd = std::sqrt(ss / static_cast<double>(r - 1));
+  const double tstar =
+      student_t_critical(confidence, static_cast<double>(r - 1));
+  ConfidenceInterval ci;
+  ci.mean = mean;
+  ci.half_width = tstar * sample_sd / std::sqrt(static_cast<double>(r));
+  ci.confidence = confidence;
+  return ci;
+}
+
+}  // namespace nashlb::stats

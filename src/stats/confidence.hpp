@@ -1,0 +1,50 @@
+// Confidence intervals for replicated simulation output.
+//
+// §4.1: "Each run was replicated five times with different random number
+// streams ... The standard error is less than 5% at the 95% confidence
+// level." With R replications the across-replication mean gets a
+// Student-t interval with R-1 degrees of freedom; this module supplies the
+// t quantile (computed, not tabulated, so any R works) and the interval.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nashlb::stats {
+
+/// Regularized incomplete beta function I_x(a, b), via the Lentz continued
+/// fraction. Accurate to ~1e-12 over the parameter ranges used here.
+[[nodiscard]] double incomplete_beta(double a, double b, double x);
+
+/// CDF of Student's t distribution with `dof` degrees of freedom.
+[[nodiscard]] double student_t_cdf(double t, double dof);
+
+/// Two-sided critical value t* with P(|T| <= t*) = `confidence`
+/// (e.g. confidence = 0.95). `dof` >= 1. Computed by bisection on the CDF.
+[[nodiscard]] double student_t_critical(double confidence, double dof);
+
+/// A two-sided confidence interval for a mean.
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double half_width = 0.0;      ///< t* · s/sqrt(R)
+  double confidence = 0.0;      ///< e.g. 0.95
+
+  [[nodiscard]] double lower() const noexcept { return mean - half_width; }
+  [[nodiscard]] double upper() const noexcept { return mean + half_width; }
+
+  /// True if `value` lies inside the interval.
+  [[nodiscard]] bool contains(double value) const noexcept {
+    return value >= lower() && value <= upper();
+  }
+
+  /// Relative half width |half_width / mean| (the paper's "standard error
+  /// less than 5%" criterion); returns +inf when mean == 0.
+  [[nodiscard]] double relative_half_width() const noexcept;
+};
+
+/// Builds a Student-t interval from per-replication means.
+/// Requires at least two samples; throws std::invalid_argument otherwise.
+[[nodiscard]] ConfidenceInterval t_interval(
+    const std::vector<double>& replication_means, double confidence = 0.95);
+
+}  // namespace nashlb::stats

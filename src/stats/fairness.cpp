@@ -1,0 +1,24 @@
+#include "stats/fairness.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nashlb::stats {
+
+double fairness_index(std::span<const double> values) {
+  if (values.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double v : values) {
+    if (!(v >= 0.0) || !std::isfinite(v)) {
+      throw std::invalid_argument(
+          "fairness_index: values must be finite and non-negative");
+    }
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(values.size()) * sum_sq);
+}
+
+}  // namespace nashlb::stats

@@ -1,0 +1,21 @@
+// Jain's fairness index (Jain, Chiu & Hawe, DEC-TR-301, 1984).
+//
+// The paper uses I(D) = (sum_j D_j)^2 / (m * sum_j D_j^2) over the vector
+// of per-user expected response times to quantify how evenly a load
+// balancing scheme treats users: 1 means perfectly fair, 1/m means one
+// user gets everything.
+#pragma once
+
+#include <span>
+
+namespace nashlb::stats {
+
+/// Jain's fairness index of a non-negative vector.
+///
+/// Returns 1.0 for an empty or all-zero vector (a degenerate allocation is
+/// vacuously fair — this matches the paper's convention that PS, which
+/// assigns identical response times, has index exactly 1).
+/// Throws std::invalid_argument if any entry is negative or non-finite.
+[[nodiscard]] double fairness_index(std::span<const double> values);
+
+}  // namespace nashlb::stats

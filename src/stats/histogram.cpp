@@ -1,0 +1,70 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace nashlb::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins)) {
+  if (!(lo < hi) || bins == 0) {
+    throw std::invalid_argument("Histogram: need lo < hi and bins >= 1");
+  }
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++under_;
+  } else if (x >= hi_) {
+    ++over_;
+  } else {
+    auto bin = static_cast<std::size_t>((x - lo_) / bin_width_);
+    bin = std::min(bin, counts_.size() - 1);  // guard fp edge at hi_
+    ++counts_[bin];
+  }
+}
+
+std::uint64_t Histogram::count(std::size_t bin) const {
+  if (bin >= counts_.size()) {
+    throw std::out_of_range("Histogram::count: bin out of range");
+  }
+  return counts_[bin];
+}
+
+std::pair<double, double> Histogram::bin_edges(std::size_t bin) const {
+  if (bin >= counts_.size()) {
+    throw std::out_of_range("Histogram::bin_edges: bin out of range");
+  }
+  const double left = lo_ + bin_width_ * static_cast<double>(bin);
+  return {left, left + bin_width_};
+}
+
+double Histogram::fraction(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(bin)) / static_cast<double>(total_);
+}
+
+std::string Histogram::ascii(std::size_t max_width) const {
+  std::uint64_t peak = 1;
+  for (std::uint64_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char line[160];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto [left, right] = bin_edges(i);
+    const auto bar_len = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(max_width));
+    std::snprintf(line, sizeof line, "[%9.4f, %9.4f) %8llu ", left, right,
+                  static_cast<unsigned long long>(counts_[i]));
+    out += line;
+    out.append(bar_len, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace nashlb::stats

@@ -1,0 +1,53 @@
+// Fixed-bin histogram for response-time distributions.
+//
+// Not required to regenerate the paper's figures (those report means), but
+// the examples use it to show users *distributional* consequences of a
+// scheme choice, and the simulator's self-tests compare empirical
+// exponential histograms against theory.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nashlb::stats {
+
+/// Equal-width histogram over [lo, hi) with overflow/underflow counters.
+class Histogram {
+ public:
+  /// Throws std::invalid_argument unless lo < hi and bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Adds one observation (routed to underflow/overflow when outside).
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t bin_count() const noexcept {
+    return counts_.size();
+  }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const;
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return under_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return over_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// [left, right) edges of bin `i`.
+  [[nodiscard]] std::pair<double, double> bin_edges(std::size_t bin) const;
+
+  /// Fraction of all observations (incl. under/overflow) in bin `i`.
+  [[nodiscard]] double fraction(std::size_t bin) const;
+
+  /// Crude terminal rendering: one line per bin with a bar of '#'.
+  [[nodiscard]] std::string ascii(std::size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t under_ = 0;
+  std::uint64_t over_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace nashlb::stats

@@ -1,0 +1,66 @@
+#include "stats/moments.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nashlb::stats {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n_total = na + nb;
+  mean_ += delta * nb / n_total;
+  m2_ += other.m2_ + delta * delta * na * nb / n_total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::std_error() const noexcept {
+  if (n_ < 2) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+void TimeWeighted::update(double t, double v) noexcept {
+  if (t > last_t_) {
+    integral_ += value_ * (t - last_t_);
+    last_t_ = t;
+  }
+  value_ = v;
+}
+
+double TimeWeighted::average(double t_end) const noexcept {
+  const double span = t_end - start_t_;
+  if (!(span > 0.0)) return 0.0;
+  double integral = integral_;
+  if (t_end > last_t_) integral += value_ * (t_end - last_t_);
+  return integral / span;
+}
+
+}  // namespace nashlb::stats

@@ -1,0 +1,70 @@
+// Online sample statistics (Welford) and time-weighted averages.
+//
+// Response-time samples stream out of the simulator one job at a time and a
+// single run generates millions of them (§4.1: "1 to 2 millions jobs
+// typically"); Welford's update keeps the mean/variance numerically stable
+// without storing the samples.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nashlb::stats {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  /// Folds one observation into the accumulator.
+  void add(double x) noexcept;
+
+  /// Merges another accumulator (Chan et al. parallel combination), so
+  /// per-thread statistics can be reduced after a parallel sweep.
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+
+  /// Standard error of the mean: stddev / sqrt(n); 0 for n < 2.
+  [[nodiscard]] double std_error() const noexcept;
+
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Time-weighted average of a piecewise-constant signal, e.g. queue length
+/// or number-in-system. Call `update(t, v)` whenever the signal changes to
+/// value `v` at time `t`; `average(t_end)` integrates up to `t_end`.
+class TimeWeighted {
+ public:
+  explicit TimeWeighted(double t0 = 0.0, double v0 = 0.0) noexcept
+      : last_t_(t0), value_(v0) {}
+
+  /// Records that the signal takes value `v` from time `t` on.
+  /// `t` must be non-decreasing across calls.
+  void update(double t, double v) noexcept;
+
+  /// Time average over [t0, t_end]. Returns 0 for an empty interval.
+  [[nodiscard]] double average(double t_end) const noexcept;
+
+  [[nodiscard]] double current() const noexcept { return value_; }
+
+ private:
+  double last_t_;
+  double value_;
+  double integral_ = 0.0;
+  double start_t_ = last_t_;
+};
+
+}  // namespace nashlb::stats

@@ -1,0 +1,94 @@
+#include "stats/rng.hpp"
+
+namespace nashlb::stats {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64_next(sm);
+  // All-zero state is the one invalid xoshiro state; SplitMix64 cannot
+  // produce four consecutive zeros, but guard against hostile seeds anyway.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 0x9e3779b97f4a7c15ULL;
+  }
+}
+
+Xoshiro256::result_type Xoshiro256::operator()() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+void Xoshiro256::jump() noexcept {
+  static constexpr std::uint64_t kJump[] = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  std::array<std::uint64_t, 4> acc{0, 0, 0, 0};
+  for (std::uint64_t word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (std::uint64_t{1} << b)) {
+        for (std::size_t i = 0; i < 4; ++i) acc[i] ^= state_[i];
+      }
+      (*this)();
+    }
+  }
+  state_ = acc;
+}
+
+double Xoshiro256::next_double() noexcept {
+  // Top 53 bits -> [0, 1) with full double precision.
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::next_double_open() noexcept {
+  // (0, 1]: complement of [0, 1). Guarantees log() never sees zero.
+  return 1.0 - next_double();
+}
+
+std::uint64_t Xoshiro256::next_below(std::uint64_t bound) noexcept {
+  if (bound <= 1) return 0;
+  // Rejection sampling on the top bits: unbiased for any bound.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+Xoshiro256 RngStreams::stream(std::uint64_t id) const noexcept {
+  // Mix the id into the seed so nearby ids are decorrelated, then jump once
+  // per id as a belt-and-braces guarantee of non-overlap for small ids.
+  std::uint64_t sm = master_seed_;
+  (void)splitmix64_next(sm);
+  sm ^= id * 0xda942042e4dd58b5ULL;
+  Xoshiro256 g(splitmix64_next(sm));
+  for (std::uint64_t i = 0; i < (id & 0xff); ++i) g.jump();
+  return g;
+}
+
+Xoshiro256 RngStreams::stream(std::uint64_t replication,
+                              std::uint64_t source) const noexcept {
+  return stream(replication * 0x10001ULL + source);
+}
+
+}  // namespace nashlb::stats

@@ -1,0 +1,90 @@
+// Deterministic, multi-stream pseudo-random number generation.
+//
+// The paper's simulation methodology (§4.1) replicates every run five times
+// "with different random number streams". This module provides the stream
+// discipline: a master seed plus a stream id always yields the same
+// statistically independent generator, so experiments are reproducible
+// bit-for-bit across machines while replications stay uncorrelated.
+//
+// Engine: xoshiro256** (Blackman & Vigna), seeded through SplitMix64 as its
+// authors recommend. Streams are separated with xoshiro's jump() function,
+// which advances the state by 2^128 steps — far more than any simulation
+// consumes — guaranteeing non-overlapping subsequences.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace nashlb::stats {
+
+/// SplitMix64 step: used for seeding and as a cheap stateless mixer.
+/// Advances `state` and returns the next 64-bit output.
+[[nodiscard]] std::uint64_t splitmix64_next(std::uint64_t& state) noexcept;
+
+/// xoshiro256** engine. Satisfies std::uniform_random_bit_generator, so it
+/// plugs into <random> distributions, but the simulator uses the native
+/// helpers below for cross-platform determinism (libstdc++/libc++ disagree
+/// on distribution algorithms; our helpers do not).
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words via SplitMix64 from a single 64-bit seed.
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Next raw 64-bit output.
+  result_type operator()() noexcept;
+
+  /// Advances the state by 2^128 outputs (used to derive disjoint streams).
+  void jump() noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Uniform double in [0, 1) with 53 random mantissa bits.
+  [[nodiscard]] double next_double() noexcept;
+
+  /// Uniform double in (0, 1] — never zero, safe as a log() argument.
+  [[nodiscard]] double next_double_open() noexcept;
+
+  /// Uniform integer in [0, bound). Unbiased (Lemire-style rejection).
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  friend bool operator==(const Xoshiro256& a, const Xoshiro256& b) noexcept {
+    return a.state_ == b.state_;
+  }
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+/// Factory for independent random streams derived from one master seed.
+///
+/// `stream(i)` is deterministic in (master_seed, i) and the streams for
+/// distinct ids are non-overlapping subsequences of the xoshiro orbit.
+/// Conventionally: stream ids encode (replication, source) pairs so every
+/// stochastic source in the simulation has its own stream.
+class RngStreams {
+ public:
+  explicit RngStreams(std::uint64_t master_seed) noexcept
+      : master_seed_(master_seed) {}
+
+  /// Returns the generator for stream `id`.
+  [[nodiscard]] Xoshiro256 stream(std::uint64_t id) const noexcept;
+
+  /// Convenience encoding of a (replication, source) stream id.
+  [[nodiscard]] Xoshiro256 stream(std::uint64_t replication,
+                                  std::uint64_t source) const noexcept;
+
+  [[nodiscard]] std::uint64_t master_seed() const noexcept {
+    return master_seed_;
+  }
+
+ private:
+  std::uint64_t master_seed_;
+};
+
+}  // namespace nashlb::stats

@@ -1,0 +1,46 @@
+// Tiny command-line option parser shared by examples and benches.
+//
+// Supports `--key=value` and `--key value` long options plus bare `--flag`
+// booleans; anything else is a positional argument. Deliberately small:
+// the examples need a handful of numeric knobs, not a framework.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nashlb::util {
+
+/// Parsed command line: option map + positionals, with typed accessors.
+class Args {
+ public:
+  /// Parses argv[1..argc). Unrecognized syntax never throws at parse time;
+  /// typed accessors throw std::invalid_argument on malformed values.
+  Args(int argc, const char* const* argv);
+
+  /// True if `--name` was present (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Value of `--name`, or `fallback` when absent.
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback = "") const;
+
+  /// Numeric accessors; throw std::invalid_argument if the value does not
+  /// parse completely as the requested type.
+  [[nodiscard]] long get_int(const std::string& name, long fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional arguments in order of appearance.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace nashlb::util

@@ -1,0 +1,88 @@
+#include "util/plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace nashlb::util {
+
+std::string render_plot(const std::vector<Series>& series,
+                        const PlotOptions& options) {
+  if (options.width < 2 || options.height < 2) {
+    throw std::invalid_argument("render_plot: grid too small");
+  }
+  // Gather the plottable range.
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  std::size_t max_len = 0;
+  for (const Series& s : series) {
+    max_len = std::max(max_len, s.values.size());
+    for (double v : s.values) {
+      if (options.log_y && !(v > 0.0)) continue;
+      if (!std::isfinite(v)) continue;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (!(lo <= hi) || max_len == 0) {
+    throw std::invalid_argument("render_plot: nothing to plot");
+  }
+  if (lo == hi) {  // flat series: open a window around it
+    lo = options.log_y ? lo * 0.5 : lo - 1.0;
+    hi = options.log_y ? hi * 2.0 : hi + 1.0;
+  }
+  const double y_lo = options.log_y ? std::log10(lo) : lo;
+  const double y_hi = options.log_y ? std::log10(hi) : hi;
+
+  std::vector<std::string> grid(options.height,
+                                std::string(options.width, ' '));
+  auto to_row = [&](double v) -> long {
+    const double y = options.log_y ? std::log10(v) : v;
+    const double frac = (y - y_lo) / (y_hi - y_lo);
+    return static_cast<long>(std::lround(
+        (1.0 - frac) * static_cast<double>(options.height - 1)));
+  };
+  auto to_col = [&](std::size_t idx) -> std::size_t {
+    if (max_len == 1) return 0;
+    return idx * (options.width - 1) / (max_len - 1);
+  };
+
+  for (const Series& s : series) {
+    const char marker = s.label.empty() ? '*' : s.label.front();
+    for (std::size_t k = 0; k < s.values.size(); ++k) {
+      const double v = s.values[k];
+      if (!std::isfinite(v)) continue;
+      if (options.log_y && !(v > 0.0)) continue;
+      const long row = to_row(v);
+      if (row < 0 || row >= static_cast<long>(options.height)) continue;
+      char& cell = grid[static_cast<std::size_t>(row)][to_col(k)];
+      cell = (cell == ' ' || cell == marker) ? marker : '#';  // overlap
+    }
+  }
+
+  std::string out;
+  char buf[64];
+  for (std::size_t r = 0; r < options.height; ++r) {
+    const double frac =
+        1.0 - static_cast<double>(r) / static_cast<double>(options.height - 1);
+    const double y = y_lo + frac * (y_hi - y_lo);
+    const double value = options.log_y ? std::pow(10.0, y) : y;
+    std::snprintf(buf, sizeof buf, "%10.3g |", value);
+    out += buf;
+    out += grid[r];
+    out += '\n';
+  }
+  out += std::string(11, ' ') + '+' + std::string(options.width, '-') + '\n';
+  out += std::string(12, ' ') + "x: 1.." + std::to_string(max_len) + "   ";
+  for (const Series& s : series) {
+    out += "[";
+    out += s.label.empty() ? '*' : s.label.front();
+    out += "] " + s.label + "  ";
+  }
+  out += "('#' = overlap)\n";
+  return out;
+}
+
+}  // namespace nashlb::util

@@ -1,0 +1,34 @@
+// Terminal line plots for the bench binaries.
+//
+// Renders one or more (x implied by index) series on a character grid,
+// optionally with a logarithmic y-axis — which is how the Figure 2 bench
+// shows the geometric norm decay the way the paper's semi-log plot does.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nashlb::util {
+
+/// One plotted series: a label (its first character is the plot marker)
+/// and the y values (x = 1..n).
+struct Series {
+  std::string label;
+  std::vector<double> values;
+};
+
+/// Options for render_plot.
+struct PlotOptions {
+  std::size_t width = 64;    ///< columns of the plotting area
+  std::size_t height = 16;   ///< rows of the plotting area
+  bool log_y = false;        ///< logarithmic y axis (requires values > 0)
+};
+
+/// Renders the series onto a grid. Non-positive values are skipped when
+/// log_y is set. Returns a multi-line string including a y-axis scale and
+/// a legend. Throws std::invalid_argument when no series has any
+/// plottable point or options are degenerate.
+[[nodiscard]] std::string render_plot(const std::vector<Series>& series,
+                                      const PlotOptions& options = {});
+
+}  // namespace nashlb::util

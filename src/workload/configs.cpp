@@ -1,0 +1,96 @@
+#include "workload/configs.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nashlb::workload {
+
+std::vector<SpeedClass> table1_classes() {
+  return {
+      {1.0, 6, 10.0},
+      {2.0, 5, 20.0},
+      {5.0, 3, 50.0},
+      {10.0, 2, 100.0},
+  };
+}
+
+std::vector<double> table1_rates() {
+  std::vector<double> mu;
+  for (const SpeedClass& cls : table1_classes()) {
+    for (std::size_t k = 0; k < cls.count; ++k) mu.push_back(cls.rate);
+  }
+  return mu;
+}
+
+std::vector<double> default_user_fractions() {
+  return {0.3, 0.2, 0.1, 0.07, 0.07, 0.06, 0.06, 0.06, 0.04, 0.04};
+}
+
+std::vector<double> user_fractions(std::size_t m) {
+  if (m == 0) {
+    throw std::invalid_argument("user_fractions: need at least one user");
+  }
+  const std::vector<double> base = default_user_fractions();
+  if (m == base.size()) return base;
+  std::vector<double> q(m);
+  double total = 0.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    // Cycle through the published pattern, attenuating each lap so large
+    // populations keep a heavy-head/long-tail mix of user sizes.
+    const std::size_t lap = j / base.size();
+    q[j] = base[j % base.size()] * std::pow(0.5, static_cast<double>(lap));
+    total += q[j];
+  }
+  for (double& v : q) v /= total;
+  return q;
+}
+
+core::Instance make_instance(std::vector<double> rates,
+                             std::vector<double> fractions,
+                             double utilization) {
+  if (!(utilization > 0.0) || !(utilization < 1.0)) {
+    throw std::invalid_argument(
+        "make_instance: utilization must be in (0, 1)");
+  }
+  double frac_total = 0.0;
+  for (double q : fractions) frac_total += q;
+  if (std::fabs(frac_total - 1.0) > 1e-9) {
+    throw std::invalid_argument(
+        "make_instance: user fractions must sum to 1");
+  }
+  double capacity = 0.0;
+  for (double mu : rates) capacity += mu;
+  const double phi_total = utilization * capacity;
+
+  core::Instance inst;
+  inst.mu = std::move(rates);
+  inst.phi.resize(fractions.size());
+  for (std::size_t j = 0; j < fractions.size(); ++j) {
+    inst.phi[j] = fractions[j] * phi_total;
+  }
+  inst.validate();
+  return inst;
+}
+
+core::Instance table1_instance(double utilization, std::size_t num_users) {
+  return make_instance(table1_rates(), user_fractions(num_users),
+                       utilization);
+}
+
+core::Instance skewness_instance(double skew, double utilization,
+                                 std::size_t fast_count,
+                                 std::size_t slow_count, double slow_rate) {
+  if (!(skew >= 1.0)) {
+    throw std::invalid_argument("skewness_instance: skew must be >= 1");
+  }
+  if (fast_count + slow_count == 0) {
+    throw std::invalid_argument("skewness_instance: no computers");
+  }
+  std::vector<double> mu;
+  mu.reserve(fast_count + slow_count);
+  for (std::size_t i = 0; i < fast_count; ++i) mu.push_back(skew * slow_rate);
+  for (std::size_t i = 0; i < slow_count; ++i) mu.push_back(slow_rate);
+  return make_instance(std::move(mu), default_user_fractions(), utilization);
+}
+
+}  // namespace nashlb::workload

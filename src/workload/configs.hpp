@@ -1,0 +1,68 @@
+// Named experimental configurations from the paper's evaluation (§4.2).
+//
+// Two system families:
+//  * Table 1: the 16-computer heterogeneous system used for the
+//    convergence (Fig. 2/3), utilization (Fig. 4) and per-user (Fig. 5)
+//    experiments — four speed classes with relative rates {1,2,5,10},
+//    counts {6,5,3,2} and absolute rates {10,20,50,100} jobs/sec;
+//  * the skewness family of Figure 6: 16 computers, 2 fast + 14 slow,
+//    slow rate 10 jobs/sec, fast relative rate swept from 1 to 20.
+//
+// User population: the workshop paper simulates 10 users but omits their
+// arrival-rate split; we use the fractions published for the same setup
+// in the journal version (Grosu & Chronopoulos, JPDC 65(9), 2005):
+// q = {0.3, 0.2, 0.1, 0.07, 0.07, 0.06, 0.06, 0.06, 0.04, 0.04}.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace nashlb::workload {
+
+/// One speed class of Table 1.
+struct SpeedClass {
+  double relative_rate;   ///< rate / slowest rate
+  std::size_t count;      ///< number of computers in the class
+  double rate;            ///< processing rate, jobs/sec
+};
+
+/// The four rows of Table 1.
+[[nodiscard]] std::vector<SpeedClass> table1_classes();
+
+/// The 16 per-computer processing rates of the Table 1 system, fastest
+/// classes last (class order as in the table; expansion is by class).
+[[nodiscard]] std::vector<double> table1_rates();
+
+/// The 10-user arrival-rate fractions (sum to 1).
+[[nodiscard]] std::vector<double> default_user_fractions();
+
+/// Arrival-rate fractions for an arbitrary user count: the 10-user vector
+/// resampled to `m` entries by geometric-like tapering (q_j proportional
+/// to the default pattern cyclically), normalized to sum 1. For m == 10
+/// this returns exactly `default_user_fractions()`.
+[[nodiscard]] std::vector<double> user_fractions(std::size_t m);
+
+/// Builds an instance from computer rates, user fractions, and a target
+/// system utilization rho in (0, 1): Phi = rho * sum(mu),
+/// phi_j = q_j * Phi. Throws std::invalid_argument if rho is out of range
+/// or the fractions do not sum to ~1.
+[[nodiscard]] core::Instance make_instance(std::vector<double> rates,
+                                           std::vector<double> fractions,
+                                           double utilization);
+
+/// The Table 1 system at the given utilization with the default 10 users.
+[[nodiscard]] core::Instance table1_instance(double utilization,
+                                             std::size_t num_users = 10);
+
+/// The Figure 6 skewness system: `fast_count` computers at
+/// `skew * slow_rate` plus `slow_count` at `slow_rate`, default 2 + 14,
+/// with the default 10 users, at the given utilization.
+[[nodiscard]] core::Instance skewness_instance(double skew,
+                                               double utilization,
+                                               std::size_t fast_count = 2,
+                                               std::size_t slow_count = 14,
+                                               double slow_rate = 10.0);
+
+}  // namespace nashlb::workload

@@ -1,0 +1,50 @@
+#include "workload/random.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace nashlb::workload {
+
+core::Instance random_instance(const RandomInstanceOptions& options) {
+  if (options.num_computers == 0 || options.num_users == 0) {
+    throw std::invalid_argument("random_instance: empty system");
+  }
+  if (!(options.utilization > 0.0) || !(options.utilization < 1.0)) {
+    throw std::invalid_argument(
+        "random_instance: utilization must be in (0, 1)");
+  }
+  if (!(options.heterogeneity >= 1.0) || !(options.user_skew >= 1.0)) {
+    throw std::invalid_argument(
+        "random_instance: ratios must be >= 1");
+  }
+
+  stats::Xoshiro256 rng(options.seed ^ 0x9e3779b97f4a7c15ULL);
+  auto log_uniform = [&](double ratio) {
+    // Value in [1, ratio], log-uniform so each decade is equally likely.
+    return std::exp(rng.next_double() * std::log(ratio));
+  };
+
+  core::Instance inst;
+  inst.mu.resize(options.num_computers);
+  double capacity = 0.0;
+  for (double& mu : inst.mu) {
+    mu = 10.0 * log_uniform(options.heterogeneity);
+    capacity += mu;
+  }
+
+  inst.phi.resize(options.num_users);
+  double weight = 0.0;
+  for (double& phi : inst.phi) {
+    phi = log_uniform(options.user_skew);
+    weight += phi;
+  }
+  const double total = options.utilization * capacity;
+  for (double& phi : inst.phi) phi *= total / weight;
+
+  inst.validate();
+  return inst;
+}
+
+}  // namespace nashlb::workload

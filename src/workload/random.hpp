@@ -1,0 +1,38 @@
+// Random problem instances for fuzzing and the convergence-evidence
+// study.
+//
+// §3: "The convergence proof for more than two users is still an open
+// problem. Several experiments done on different settings show that they
+// converge." This generator produces the "different settings": seeded,
+// reproducible instances spanning system size, population size,
+// utilization and heterogeneity — consumed by the property tests and by
+// bench_convergence_evidence.
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace nashlb::workload {
+
+/// Knobs of the instance generator.
+struct RandomInstanceOptions {
+  std::size_t num_computers = 16;
+  std::size_t num_users = 10;
+  /// Target system utilization Phi / sum(mu), in (0, 1).
+  double utilization = 0.6;
+  /// Max ratio between the fastest and slowest computer (>= 1). Rates are
+  /// drawn log-uniformly over [base, base * heterogeneity].
+  double heterogeneity = 10.0;
+  /// Max ratio between the largest and smallest user (>= 1), drawn the
+  /// same way.
+  double user_skew = 8.0;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a valid instance (throws std::invalid_argument on bad
+/// options). Deterministic in `options` (including the seed).
+[[nodiscard]] core::Instance random_instance(
+    const RandomInstanceOptions& options);
+
+}  // namespace nashlb::workload

@@ -1,0 +1,100 @@
+#include "core/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace nashlb::core {
+namespace {
+
+double total(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(Simplex, PointAlreadyOnSimplexIsFixed) {
+  const std::vector<double> x{0.2, 0.3, 0.5};
+  const std::vector<double> p = project_to_simplex(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(p[i], x[i], 1e-12);
+  }
+}
+
+TEST(Simplex, UniformShiftRemoved) {
+  // v = x + c*1 projects back to x when x is on the simplex.
+  const std::vector<double> v{0.2 + 5.0, 0.3 + 5.0, 0.5 + 5.0};
+  const std::vector<double> p = project_to_simplex(v);
+  EXPECT_NEAR(p[0], 0.2, 1e-12);
+  EXPECT_NEAR(p[1], 0.3, 1e-12);
+  EXPECT_NEAR(p[2], 0.5, 1e-12);
+}
+
+TEST(Simplex, NegativeCoordinatesClipToZero) {
+  const std::vector<double> v{1.0, -10.0};
+  const std::vector<double> p = project_to_simplex(v);
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+  EXPECT_DOUBLE_EQ(p[1], 0.0);
+}
+
+TEST(Simplex, SingleElement) {
+  const std::vector<double> p = project_to_simplex(std::vector<double>{-3.0});
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+}
+
+TEST(Simplex, CustomRadius) {
+  const std::vector<double> p =
+      project_to_simplex(std::vector<double>{1.0, 1.0}, 4.0);
+  EXPECT_DOUBLE_EQ(p[0], 2.0);
+  EXPECT_DOUBLE_EQ(p[1], 2.0);
+}
+
+TEST(Simplex, RejectsBadInput) {
+  EXPECT_THROW(project_to_simplex(std::vector<double>{}),
+               std::invalid_argument);
+  EXPECT_THROW(project_to_simplex(std::vector<double>{1.0}, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(project_to_simplex(std::vector<double>{std::nan("")}),
+               std::invalid_argument);
+}
+
+class SimplexProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimplexProperty, ProjectionIsFeasibleAndOptimal) {
+  stats::Xoshiro256 rng(GetParam());
+  const std::size_t n = 2 + rng.next_below(30);
+  std::vector<double> v(n);
+  for (double& x : v) x = 10.0 * (rng.next_double() - 0.5);
+
+  const std::vector<double> p = project_to_simplex(v);
+  // Feasibility.
+  EXPECT_NEAR(total(p), 1.0, 1e-9);
+  for (double x : p) EXPECT_GE(x, 0.0);
+
+  // Optimality: no feasible point sampled at random is closer to v.
+  auto dist2 = [&](const std::vector<double>& q) {
+    double d = 0.0;
+    for (std::size_t i = 0; i < n; ++i) d += (q[i] - v[i]) * (q[i] - v[i]);
+    return d;
+  };
+  const double best = dist2(p);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<double> q(n);
+    double qt = 0.0;
+    for (double& x : q) {
+      x = rng.next_double_open();
+      qt += x;
+    }
+    for (double& x : q) x /= qt;
+    EXPECT_GE(dist2(q), best - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace nashlb::core

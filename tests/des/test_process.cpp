@@ -1,0 +1,146 @@
+#include "des/process.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/distributions.hpp"
+#include "stats/moments.hpp"
+#include "stats/rng.hpp"
+
+namespace nashlb::des {
+namespace {
+
+TEST(Process, RunsSequentiallyThroughDelays) {
+  Simulator sim;
+  std::vector<double> checkpoints;
+  auto body = [&](Simulator& s) -> Task {
+    checkpoints.push_back(s.now());
+    co_await delay(s, 1.5);
+    checkpoints.push_back(s.now());
+    co_await delay(s, 2.5);
+    checkpoints.push_back(s.now());
+  };
+  spawn(sim, body(sim));
+  sim.run();
+  ASSERT_EQ(checkpoints.size(), 3u);
+  EXPECT_DOUBLE_EQ(checkpoints[0], 0.0);
+  EXPECT_DOUBLE_EQ(checkpoints[1], 1.5);
+  EXPECT_DOUBLE_EQ(checkpoints[2], 4.0);
+}
+
+TEST(Process, DelayAwaitYieldsResumeTime) {
+  Simulator sim;
+  double resumed_at = -1.0;
+  auto body = [&](Simulator& s) -> Task {
+    resumed_at = co_await delay(s, 3.0);
+  };
+  spawn(sim, body(sim));
+  sim.run();
+  EXPECT_DOUBLE_EQ(resumed_at, 3.0);
+}
+
+TEST(Process, ServiceAwaitQueuesAtFacility) {
+  Simulator sim;
+  Facility cpu(sim, "cpu");
+  std::vector<std::pair<int, double>> done;
+  auto job = [&](Simulator& s, int id, double t) -> Task {
+    const SimTime finished = co_await service(cpu, t);
+    done.push_back({id, finished});
+    (void)s;
+  };
+  spawn(sim, job(sim, 1, 2.0));
+  spawn(sim, job(sim, 2, 1.0));
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  // FCFS: job 1 (spawned first) served first.
+  EXPECT_EQ(done[0].first, 1);
+  EXPECT_DOUBLE_EQ(done[0].second, 2.0);
+  EXPECT_EQ(done[1].first, 2);
+  EXPECT_DOUBLE_EQ(done[1].second, 3.0);
+}
+
+TEST(Process, MultipleProcessesInterleave) {
+  Simulator sim;
+  std::vector<int> order;
+  auto ticker = [&](Simulator& s, int id, double period,
+                    int count) -> Task {
+    for (int k = 0; k < count; ++k) {
+      co_await delay(s, period);
+      order.push_back(id);
+    }
+  };
+  spawn(sim, ticker(sim, 1, 2.0, 3));  // fires at 2, 4, 6
+  spawn(sim, ticker(sim, 2, 3.0, 2));  // fires at 3, 6
+  sim.run();
+  // At t = 6 both fire; ticker 2's event was *scheduled* earlier (at
+  // t = 3 vs t = 4), so the FIFO tie-break delivers it first.
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 1, 2, 1}));
+}
+
+TEST(Process, UnspawnedTaskLeaksNothing) {
+  // A task that is created but never spawned must destroy its frame via
+  // its destructor; this test's sanitizer/valgrind value is the absence
+  // of leaks, here we just check it does not run.
+  Simulator sim;
+  bool ran = false;
+  {
+    auto body = [&](Simulator& s) -> Task {
+      ran = true;
+      co_await delay(s, 1.0);
+    };
+    Task t = body(sim);
+    (void)t;  // dropped without spawn
+  }
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Process, SpawnStartsAtCurrentTime) {
+  Simulator sim;
+  double started_at = -1.0;
+  sim.schedule(5.0, [&](SimTime) {
+    auto body = [&](Simulator& s) -> Task {
+      started_at = s.now();
+      co_return;
+    };
+    spawn(sim, body(sim));
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(started_at, 5.0);
+}
+
+TEST(Process, MM1SourceAsProcessMatchesTheory) {
+  // The canonical process-style M/M/1: one generator process spawning
+  // customer processes. lambda = 3, mu = 10 -> T = 1/7.
+  Simulator sim;
+  Facility cpu(sim, "cpu");
+  stats::Xoshiro256 arr_rng(11), svc_rng(22);
+  const stats::Exponential interarrival(3.0);
+  const stats::Exponential svc(10.0);
+  stats::RunningStats response;
+  constexpr double kHorizon = 20000.0;
+
+  auto customer = [&](Simulator& s) -> Task {
+    const SimTime arrived = s.now();
+    const SimTime finished = co_await service(cpu, svc.sample(svc_rng));
+    response.add(finished - arrived);
+  };
+  auto generator = [&](Simulator& s) -> Task {
+    for (;;) {
+      const double gap = interarrival.sample(arr_rng);
+      if (s.now() + gap > kHorizon) co_return;
+      co_await delay(s, gap);
+      spawn(s, customer(s));
+    }
+  };
+  spawn(sim, generator(sim));
+  sim.run();
+
+  EXPECT_GT(response.count(), 40000u);
+  EXPECT_NEAR(response.mean(), 1.0 / 7.0, 0.01);
+  EXPECT_NEAR(cpu.utilization(sim.now()), 0.3, 0.01);
+}
+
+}  // namespace
+}  // namespace nashlb::des

@@ -1,0 +1,146 @@
+#include "des/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace nashlb::des {
+namespace {
+
+TEST(Simulator, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, RunAdvancesClockThroughEvents) {
+  Simulator sim;
+  std::vector<double> seen;
+  sim.schedule(1.5, [&](SimTime t) { seen.push_back(t); });
+  sim.schedule(0.5, [&](SimTime t) { seen.push_back(t); });
+  EXPECT_EQ(sim.run(), StopReason::Exhausted);
+  EXPECT_EQ(seen, (std::vector<double>{0.5, 1.5}));
+  EXPECT_DOUBLE_EQ(sim.now(), 1.5);
+  EXPECT_EQ(sim.events_executed(), 2u);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void(SimTime)> chain = [&](SimTime) {
+    if (++depth < 5) sim.schedule(1.0, chain);
+  };
+  sim.schedule(1.0, chain);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule(static_cast<double>(i), [&](SimTime) { ++fired; });
+  }
+  EXPECT_EQ(sim.run_until(4.5), StopReason::TimeLimit);
+  EXPECT_EQ(fired, 4);
+  EXPECT_DOUBLE_EQ(sim.now(), 4.5);
+  // Remaining events still pending; a second call finishes them.
+  EXPECT_EQ(sim.run_until(100.0), StopReason::Exhausted);
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(Simulator, EventExactlyAtHorizonFires) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule(2.0, [&](SimTime) { fired = true; });
+  sim.run_until(2.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, EventLimit) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(1.0 * i, [&](SimTime) { ++fired; });
+  }
+  EXPECT_EQ(sim.run(3), StopReason::EventLimit);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, StopRequestHonored) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1.0, [&](SimTime) {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule(2.0, [&](SimTime) { ++fired; });
+  EXPECT_EQ(sim.run(), StopReason::Stopped);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(Simulator, NegativeDelayRejected) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule(-1.0, [](SimTime) {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule(std::numeric_limits<double>::infinity(),
+                            [](SimTime) {}),
+               std::invalid_argument);
+}
+
+TEST(Simulator, ScheduleAtAbsoluteTime) {
+  Simulator sim;
+  sim.schedule(5.0, [](SimTime) {});
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  EXPECT_THROW(sim.schedule_at(4.0, [](SimTime) {}), std::invalid_argument);
+  bool fired = false;
+  sim.schedule_at(6.0, [&](SimTime) { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, StepExecutesSingleEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1.0, [&](SimTime) { ++fired; });
+  sim.schedule(2.0, [&](SimTime) { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, ResetDropsPendingAndRewindsClock) {
+  Simulator sim;
+  sim.schedule(1.0, [](SimTime) {});
+  sim.schedule(9.0, [](SimTime) {});
+  sim.run_until(1.0);
+  sim.reset();
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.run(), StopReason::Exhausted);
+}
+
+TEST(Simulator, CancelledEventDoesNotFire) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle h = sim.schedule(1.0, [&](SimTime) { fired = true; });
+  h.cancel();
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, RunUntilPastHorizonRejected) {
+  Simulator sim;
+  sim.schedule(5.0, [](SimTime) {});
+  sim.run();
+  EXPECT_THROW(sim.run_until(1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nashlb::des

@@ -1,0 +1,88 @@
+// Additional ring-protocol behaviours: timing decomposition, norm-trace
+// shape, and determinism of the noisy variant.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "distributed/ring_protocol.hpp"
+
+namespace nashlb::distributed {
+namespace {
+
+core::Instance instance(std::size_t users = 4) {
+  core::Instance inst;
+  inst.mu = {10.0, 20.0, 50.0, 100.0};
+  inst.phi.assign(users, 0.6 * 180.0 / static_cast<double>(users));
+  return inst;
+}
+
+TEST(RingEdge, FinishTimeDecomposesIntoLatencyAndCompute) {
+  // Every round costs m link hops + m compute slots; the STOP wave adds
+  // m-1 hops. The simulated clock must equal that sum exactly.
+  const core::Instance inst = instance(4);
+  RingOptions opts;
+  opts.tolerance = 1e-6;
+  opts.link_latency = 0.25;
+  opts.compute_time = 0.125;
+  const RingResult res = run_ring_protocol(inst, opts);
+  ASSERT_TRUE(res.converged);
+  const double expected =
+      static_cast<double>(res.rounds) * 4.0 *
+          (opts.link_latency + opts.compute_time) +
+      3.0 * opts.link_latency;  // STOP wave
+  EXPECT_NEAR(res.finish_time, expected, 1e-9);
+}
+
+TEST(RingEdge, ZeroLatencyZeroComputeStillWorks) {
+  const core::Instance inst = instance(3);
+  RingOptions opts;
+  opts.tolerance = 1e-8;
+  opts.link_latency = 0.0;
+  opts.compute_time = 0.0;
+  const RingResult res = run_ring_protocol(inst, opts);
+  EXPECT_TRUE(res.converged);
+  EXPECT_DOUBLE_EQ(res.finish_time, 0.0);
+}
+
+TEST(RingEdge, NormHistoryLengthEqualsRounds) {
+  const core::Instance inst = instance(5);
+  RingOptions opts;
+  opts.tolerance = 1e-5;
+  const RingResult res = run_ring_protocol(inst, opts);
+  ASSERT_TRUE(res.converged);
+  EXPECT_EQ(res.norm_history.size(), res.rounds);
+  EXPECT_LE(res.norm_history.back(), opts.tolerance);
+  EXPECT_GT(res.norm_history.front(), opts.tolerance);
+}
+
+TEST(RingEdge, NoisyRunsAreDeterministicPerSeed) {
+  const core::Instance inst = instance(4);
+  RingOptions opts;
+  opts.noise_sigma = 0.05;
+  opts.tolerance = 1e-3;
+  opts.max_rounds = 100;
+  opts.seed = 424242;
+  const RingResult a = run_ring_protocol(inst, opts);
+  const RingResult b = run_ring_protocol(inst, opts);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_DOUBLE_EQ(a.profile.max_difference(b.profile), 0.0);
+  opts.seed = 424243;
+  const RingResult c = run_ring_protocol(inst, opts);
+  EXPECT_GT(a.profile.max_difference(c.profile), 0.0);
+}
+
+TEST(RingEdge, UserTimesSumConsistentWithProfile) {
+  const core::Instance inst = instance(4);
+  RingOptions opts;
+  opts.tolerance = 1e-8;
+  const RingResult res = run_ring_protocol(inst, opts);
+  ASSERT_TRUE(res.converged);
+  ASSERT_EQ(res.user_times.size(), 4u);
+  for (double d : res.user_times) {
+    EXPECT_GT(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace nashlb::distributed

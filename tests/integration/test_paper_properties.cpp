@@ -1,0 +1,237 @@
+// Integration: the qualitative claims of the paper's evaluation (§4.2)
+// hold on the exact experimental configurations — these are the
+// regression gates behind the Figure 2-6 benches.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/equilibrium.hpp"
+#include "schemes/gos.hpp"
+#include "schemes/ios.hpp"
+#include "schemes/metrics.hpp"
+#include "schemes/nash.hpp"
+#include "schemes/ps.hpp"
+#include "workload/configs.hpp"
+
+namespace nashlb {
+namespace {
+
+using schemes::evaluate;
+using schemes::Metrics;
+
+Metrics metrics_of(const core::Instance& inst, const char* name) {
+  if (std::string(name) == "NASH") {
+    return evaluate(inst, schemes::NashScheme(
+                              core::Initialization::Proportional, 1e-8)
+                              .solve(inst));
+  }
+  if (std::string(name) == "GOS") {
+    return evaluate(inst, schemes::GlobalOptimalScheme().solve(inst));
+  }
+  if (std::string(name) == "IOS") {
+    return evaluate(inst, schemes::IndividualOptimalScheme().solve(inst));
+  }
+  return evaluate(inst, schemes::ProportionalScheme().solve(inst));
+}
+
+// --- Figure 2 / 3: convergence ----------------------------------------
+
+TEST(Figure2, NashPConvergesInFewerIterationsThanNash0) {
+  const core::Instance inst = workload::table1_instance(0.6);
+  const auto r0 = schemes::NashScheme(core::Initialization::Zero, 1e-3)
+                      .solve_with_trace(inst);
+  const auto rp =
+      schemes::NashScheme(core::Initialization::Proportional, 1e-3)
+          .solve_with_trace(inst);
+  ASSERT_TRUE(r0.converged);
+  ASSERT_TRUE(rp.converged);
+  // Direction of §4.2.1's claim: the proportional start is closer to the
+  // equilibrium, so NASH_P needs strictly fewer rounds and starts from a
+  // much smaller norm. (Our measured reduction is 10-30%, not the paper's
+  // ">half" — see EXPERIMENTS.md F2 for the discussion.)
+  EXPECT_LT(rp.iterations, r0.iterations);
+  EXPECT_LT(2.0 * rp.norm_history.front(), r0.norm_history.front());
+}
+
+TEST(Figure2, NormDecreasesMonotonicallyAfterFirstRounds) {
+  const core::Instance inst = workload::table1_instance(0.6);
+  const auto res =
+      schemes::NashScheme(core::Initialization::Proportional, 1e-6)
+          .solve_with_trace(inst);
+  ASSERT_TRUE(res.converged);
+  for (std::size_t l = 1; l + 1 < res.norm_history.size(); ++l) {
+    EXPECT_LE(res.norm_history[l + 1], res.norm_history[l] * 1.5)
+        << "round " << l;
+  }
+}
+
+TEST(Figure3, BothVariantsConvergeForFourToThirtyTwoUsers) {
+  for (std::size_t m : {4u, 8u, 16u, 32u}) {
+    const core::Instance inst = workload::table1_instance(0.6, m);
+    for (auto init :
+         {core::Initialization::Zero, core::Initialization::Proportional}) {
+      const auto res =
+          schemes::NashScheme(init, 1e-2, 2000).solve_with_trace(inst);
+      EXPECT_TRUE(res.converged) << "m=" << m;
+      EXPECT_TRUE(core::is_nash_equilibrium(inst, res.profile, 1e-2))
+          << "m=" << m;
+    }
+  }
+}
+
+// --- Figure 4: effect of system utilization ---------------------------
+
+TEST(Figure4, LowLoadAllButPsCoincide) {
+  const core::Instance inst = workload::table1_instance(0.1);
+  const Metrics nash = metrics_of(inst, "NASH");
+  const Metrics gos = metrics_of(inst, "GOS");
+  const Metrics ios = metrics_of(inst, "IOS");
+  const Metrics ps = metrics_of(inst, "PS");
+  EXPECT_NEAR(nash.overall_response_time, gos.overall_response_time,
+              0.05 * gos.overall_response_time);
+  EXPECT_NEAR(ios.overall_response_time, gos.overall_response_time,
+              0.05 * gos.overall_response_time);
+  // PS is clearly worse even at low load.
+  EXPECT_GT(ps.overall_response_time, 1.5 * gos.overall_response_time);
+}
+
+TEST(Figure4, MediumLoadNashNearGosAndWellBelowPs) {
+  const core::Instance inst = workload::table1_instance(0.5);
+  const Metrics nash = metrics_of(inst, "NASH");
+  const Metrics gos = metrics_of(inst, "GOS");
+  const Metrics ps = metrics_of(inst, "PS");
+  // "mean response time of NASH is 30% less than PS and 7% greater than
+  // GOS" — we require the same direction and rough magnitude.
+  EXPECT_LT(nash.overall_response_time, 0.8 * ps.overall_response_time);
+  EXPECT_LT(nash.overall_response_time, 1.2 * gos.overall_response_time);
+  EXPECT_GE(nash.overall_response_time,
+            gos.overall_response_time - 1e-12);
+}
+
+TEST(Figure4, HighLoadOrderingGosNashBelowIosPs) {
+  const core::Instance inst = workload::table1_instance(0.9);
+  const Metrics nash = metrics_of(inst, "NASH");
+  const Metrics gos = metrics_of(inst, "GOS");
+  const Metrics ios = metrics_of(inst, "IOS");
+  const Metrics ps = metrics_of(inst, "PS");
+  EXPECT_LT(gos.overall_response_time, ios.overall_response_time);
+  EXPECT_LT(nash.overall_response_time, ios.overall_response_time);
+  // IOS and PS converge toward each other at high load.
+  EXPECT_NEAR(ios.overall_response_time, ps.overall_response_time,
+              0.15 * ps.overall_response_time);
+}
+
+TEST(Figure4, FairnessProfile) {
+  // PS and IOS pin fairness at 1; NASH stays close to 1; GOS degrades
+  // badly at high load.
+  for (double util : {0.2, 0.5, 0.8, 0.9}) {
+    const core::Instance inst = workload::table1_instance(util);
+    EXPECT_NEAR(metrics_of(inst, "PS").fairness, 1.0, 1e-9) << util;
+    EXPECT_NEAR(metrics_of(inst, "IOS").fairness, 1.0, 1e-9) << util;
+    EXPECT_GT(metrics_of(inst, "NASH").fairness, 0.95) << util;
+  }
+  // GOS's fairness degrades with load. (The paper prints "0.2" at high
+  // load, but Jain's index over GOS user times is bounded below by ~0.55
+  // on this system because per-computer response times under the sqrt
+  // rule differ by at most sqrt(mu_max/mu_min) = sqrt(10); see
+  // EXPERIMENTS.md F4. We assert the defensible part: a clear drop.)
+  const double gos_low =
+      metrics_of(workload::table1_instance(0.1), "GOS").fairness;
+  const double gos_high =
+      metrics_of(workload::table1_instance(0.9), "GOS").fairness;
+  EXPECT_LT(gos_high, 0.95);
+  EXPECT_LT(gos_high, gos_low);
+}
+
+// --- Figure 5: per-user response times at 60% load ---------------------
+
+TEST(Figure5, PsAndIosGiveIdenticalTimesToEveryUser) {
+  const core::Instance inst = workload::table1_instance(0.6);
+  for (const char* name : {"PS", "IOS"}) {
+    const Metrics m = metrics_of(inst, name);
+    for (std::size_t j = 1; j < m.user_response_times.size(); ++j) {
+      EXPECT_NEAR(m.user_response_times[j], m.user_response_times[0],
+                  1e-9)
+          << name;
+    }
+  }
+}
+
+TEST(Figure5, GosSpreadsUsersNashDoesNot) {
+  const core::Instance inst = workload::table1_instance(0.6);
+  const Metrics gos = metrics_of(inst, "GOS");
+  const Metrics nash = metrics_of(inst, "NASH");
+  auto spread = [](const std::vector<double>& v) {
+    double lo = v[0], hi = v[0];
+    for (double x : v) {
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+    }
+    return hi / lo;
+  };
+  EXPECT_GT(spread(gos.user_response_times), 2.0);   // "large differences"
+  EXPECT_LT(spread(nash.user_response_times), 1.2);  // near-equal
+}
+
+TEST(Figure5, NashGivesEachUserItsMinimumPossibleTime) {
+  const core::Instance inst = workload::table1_instance(0.6);
+  const core::StrategyProfile s =
+      schemes::NashScheme(core::Initialization::Proportional, 1e-9)
+          .solve(inst);
+  EXPECT_LE(core::max_best_reply_gain(inst, s), 1e-6);
+}
+
+// --- Figure 6: effect of heterogeneity --------------------------------
+
+TEST(Figure6, HighSkewNashApproachesGos) {
+  const core::Instance inst = workload::skewness_instance(20.0, 0.6);
+  const Metrics nash = metrics_of(inst, "NASH");
+  const Metrics gos = metrics_of(inst, "GOS");
+  EXPECT_NEAR(nash.overall_response_time, gos.overall_response_time,
+              0.05 * gos.overall_response_time);
+}
+
+TEST(Figure6, IosGoodAtHighSkewPoorAtLowSkew) {
+  const Metrics ios_high = metrics_of(
+      workload::skewness_instance(20.0, 0.6), "IOS");
+  const Metrics gos_high = metrics_of(
+      workload::skewness_instance(20.0, 0.6), "GOS");
+  EXPECT_LT(ios_high.overall_response_time,
+            1.1 * gos_high.overall_response_time);
+
+  const Metrics ios_low =
+      metrics_of(workload::skewness_instance(1.0, 0.6), "IOS");
+  const Metrics gos_low =
+      metrics_of(workload::skewness_instance(1.0, 0.6), "GOS");
+  // Homogeneous system: Wardrop == proportional == ... everything equal;
+  // the "poor" IOS behaviour shows at intermediate skews.
+  EXPECT_NEAR(ios_low.overall_response_time,
+              gos_low.overall_response_time,
+              1e-9);
+  const Metrics ios_mid =
+      metrics_of(workload::skewness_instance(4.0, 0.6), "IOS");
+  const Metrics gos_mid =
+      metrics_of(workload::skewness_instance(4.0, 0.6), "GOS");
+  EXPECT_GT(ios_mid.overall_response_time,
+            1.05 * gos_mid.overall_response_time);
+}
+
+TEST(Figure6, PsDegradesWithSkew) {
+  const Metrics ps = metrics_of(workload::skewness_instance(16.0, 0.6), "PS");
+  const Metrics nash =
+      metrics_of(workload::skewness_instance(16.0, 0.6), "NASH");
+  EXPECT_GT(ps.overall_response_time, 2.0 * nash.overall_response_time);
+}
+
+TEST(Figure6, FairnessAtHighSkew) {
+  const core::Instance inst = workload::skewness_instance(18.0, 0.6);
+  EXPECT_NEAR(metrics_of(inst, "PS").fairness, 1.0, 1e-9);
+  EXPECT_NEAR(metrics_of(inst, "IOS").fairness, 1.0, 1e-9);
+  EXPECT_GT(metrics_of(inst, "NASH").fairness, 0.95);
+}
+
+}  // namespace
+}  // namespace nashlb

@@ -1,0 +1,99 @@
+#include "queueing/mm1.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nashlb::queueing {
+namespace {
+
+TEST(MM1, RejectsUnstableOrInvalid) {
+  EXPECT_THROW(MM1(1.0, 1.0), std::invalid_argument);   // lambda == mu
+  EXPECT_THROW(MM1(2.0, 1.0), std::invalid_argument);   // lambda > mu
+  EXPECT_THROW(MM1(-0.1, 1.0), std::invalid_argument);  // negative lambda
+  EXPECT_THROW(MM1(0.0, 0.0), std::invalid_argument);   // zero mu
+  EXPECT_THROW(MM1(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(MM1, KleinrockTextbookValues) {
+  // lambda = 8, mu = 10: rho = 0.8, T = 0.5, W = 0.4, L = 4, Lq = 3.2.
+  const MM1 q(8.0, 10.0);
+  EXPECT_DOUBLE_EQ(q.utilization(), 0.8);
+  EXPECT_DOUBLE_EQ(q.mean_response_time(), 0.5);
+  EXPECT_DOUBLE_EQ(q.mean_waiting_time(), 0.4);
+  EXPECT_DOUBLE_EQ(q.mean_number_in_system(), 4.0);
+  EXPECT_NEAR(q.mean_queue_length(), 3.2, 1e-12);
+}
+
+TEST(MM1, EmptyQueueIsJustService) {
+  const MM1 q(0.0, 4.0);
+  EXPECT_DOUBLE_EQ(q.utilization(), 0.0);
+  EXPECT_DOUBLE_EQ(q.mean_response_time(), 0.25);  // pure service time
+  EXPECT_DOUBLE_EQ(q.mean_waiting_time(), 0.0);
+  EXPECT_DOUBLE_EQ(q.mean_number_in_system(), 0.0);
+}
+
+TEST(MM1, LittlesLawConsistency) {
+  const MM1 q(3.7, 5.2);
+  EXPECT_NEAR(q.mean_number_in_system(),
+              q.arrival_rate() * q.mean_response_time(), 1e-12);
+  EXPECT_NEAR(q.mean_queue_length(),
+              q.arrival_rate() * q.mean_waiting_time(), 1e-12);
+  // T = W + 1/mu.
+  EXPECT_NEAR(q.mean_response_time(),
+              q.mean_waiting_time() + 1.0 / q.service_rate(), 1e-12);
+}
+
+TEST(MM1, OccupancyDistributionIsGeometric) {
+  const MM1 q(6.0, 10.0);
+  double total = 0.0;
+  double expected_n = 0.0;
+  for (unsigned n = 0; n < 200; ++n) {
+    const double p = q.prob_n_in_system(n);
+    EXPECT_NEAR(p, 0.4 * std::pow(0.6, n), 1e-12);
+    total += p;
+    expected_n += n * p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_NEAR(expected_n, q.mean_number_in_system(), 1e-8);
+}
+
+TEST(MM1, ResponseTimeTailIsExponential) {
+  const MM1 q(2.0, 5.0);  // mu - lambda = 3
+  EXPECT_DOUBLE_EQ(q.response_time_tail(0.0), 1.0);
+  EXPECT_NEAR(q.response_time_tail(1.0), std::exp(-3.0), 1e-12);
+  // Mean from the tail: integral of the tail = mean.
+  EXPECT_NEAR(q.response_time_variance(),
+              q.mean_response_time() * q.mean_response_time(), 1e-12);
+}
+
+TEST(MM1, ResponseTimeDivergesNearSaturation) {
+  const MM1 q(9.999, 10.0);
+  EXPECT_GT(q.mean_response_time(), 999.0);
+}
+
+TEST(MarginalDelay, MatchesDerivative) {
+  // d/dl [l/(mu-l)] = mu/(mu-l)^2, checked by finite differences.
+  const double mu = 7.0, l = 3.0, h = 1e-6;
+  auto cost = [&](double x) { return x / (mu - x); };
+  const double numeric = (cost(l + h) - cost(l - h)) / (2 * h);
+  EXPECT_NEAR(mm1_marginal_delay(l, mu), numeric, 1e-5);
+}
+
+TEST(MarginalDelay, MonotoneInLoad) {
+  double prev = 0.0;
+  for (double l = 0.0; l < 9.0; l += 1.0) {
+    const double g = mm1_marginal_delay(l, 10.0);
+    EXPECT_GT(g, prev);
+    prev = g;
+  }
+}
+
+TEST(MarginalDelay, RejectsUnstable) {
+  EXPECT_THROW(mm1_marginal_delay(10.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(mm1_marginal_delay(-1.0, 10.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nashlb::queueing

@@ -1,0 +1,99 @@
+#include "queueing/mmc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "queueing/mm1.hpp"
+
+namespace nashlb::queueing {
+namespace {
+
+TEST(ErlangC, RejectsBadInputs) {
+  EXPECT_THROW(erlang_c(0, 0.5), std::invalid_argument);
+  EXPECT_THROW(erlang_c(2, 2.0), std::invalid_argument);
+  EXPECT_THROW(erlang_c(2, -0.1), std::invalid_argument);
+}
+
+TEST(ErlangC, ZeroLoadNeverWaits) {
+  EXPECT_DOUBLE_EQ(erlang_c(3, 0.0), 0.0);
+}
+
+TEST(ErlangC, SingleServerIsRho) {
+  // For c = 1 the wait probability is the server utilization.
+  for (double a : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(erlang_c(1, a), a, 1e-12);
+  }
+}
+
+TEST(ErlangC, KnownTextbookValue) {
+  // Classic call-centre example: c = 2, a = 1 -> C = 1/3.
+  EXPECT_NEAR(erlang_c(2, 1.0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(ErlangC, MonotoneInLoad) {
+  double prev = 0.0;
+  for (double a = 0.2; a < 3.9; a += 0.2) {
+    const double c = erlang_c(4, a);
+    EXPECT_GT(c, prev);
+    prev = c;
+  }
+}
+
+TEST(ErlangC, BoundedInUnitInterval) {
+  for (unsigned c = 1; c <= 16; ++c) {
+    for (double frac : {0.1, 0.5, 0.9, 0.99}) {
+      const double p = erlang_c(c, frac * c);
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+  }
+}
+
+TEST(MMC, RejectsUnstable) {
+  EXPECT_THROW(MMC(4.0, 2.0, 2), std::invalid_argument);
+  EXPECT_THROW(MMC(1.0, 2.0, 0), std::invalid_argument);
+  EXPECT_THROW(MMC(-1.0, 2.0, 2), std::invalid_argument);
+}
+
+TEST(MMC, SingleServerMatchesMM1) {
+  const MMC mmc(3.0, 5.0, 1);
+  const MM1 mm1(3.0, 5.0);
+  EXPECT_NEAR(mmc.mean_response_time(), mm1.mean_response_time(), 1e-12);
+  EXPECT_NEAR(mmc.mean_waiting_time(), mm1.mean_waiting_time(), 1e-12);
+  EXPECT_NEAR(mmc.mean_number_in_system(), mm1.mean_number_in_system(),
+              1e-12);
+}
+
+TEST(MMC, PoolingBeatsSplitQueues) {
+  // A classic queueing fact: one M/M/2 beats two separate M/M/1s at the
+  // same total load and capacity.
+  const double lambda = 3.0;
+  const MMC pooled(lambda, 2.0, 2);
+  const MM1 split(lambda / 2.0, 2.0);
+  EXPECT_LT(pooled.mean_response_time(), split.mean_response_time());
+}
+
+TEST(MMC, FastSingleServerBeatsManySlow) {
+  // ...but one fast M/M/1 of equal capacity beats the M/M/c pool.
+  const double lambda = 3.0;
+  const MMC pool(lambda, 1.0, 4);
+  const MM1 fast(lambda, 4.0);
+  EXPECT_LT(fast.mean_response_time(), pool.mean_response_time());
+}
+
+TEST(MMC, LittleLawConsistency) {
+  const MMC q(5.0, 2.0, 4);
+  EXPECT_NEAR(q.mean_number_in_system(),
+              q.arrival_rate() * q.mean_response_time(), 1e-12);
+  EXPECT_NEAR(q.utilization(), 5.0 / 8.0, 1e-12);
+}
+
+TEST(MMC, ResponseDivergesNearSaturation) {
+  const MMC q(7.999, 2.0, 4);
+  EXPECT_GT(q.mean_response_time(), 100.0);
+}
+
+}  // namespace
+}  // namespace nashlb::queueing

@@ -1,0 +1,64 @@
+#include "queueing/stability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace nashlb::queueing {
+namespace {
+
+TEST(Stability, AllStationsStableBasic) {
+  const std::vector<double> lambda{1.0, 2.0};
+  const std::vector<double> mu{2.0, 3.0};
+  EXPECT_TRUE(all_stations_stable(lambda, mu));
+}
+
+TEST(Stability, SaturatedStationIsUnstable) {
+  EXPECT_FALSE(all_stations_stable(std::vector<double>{2.0},
+                                   std::vector<double>{2.0}));
+  EXPECT_FALSE(all_stations_stable(std::vector<double>{3.0},
+                                   std::vector<double>{2.0}));
+}
+
+TEST(Stability, NegativeLoadIsInvalid) {
+  EXPECT_FALSE(all_stations_stable(std::vector<double>{-0.1},
+                                   std::vector<double>{2.0}));
+}
+
+TEST(Stability, MarginTightens) {
+  const std::vector<double> lambda{1.9};
+  const std::vector<double> mu{2.0};
+  EXPECT_TRUE(all_stations_stable(lambda, mu, 0.0));
+  EXPECT_FALSE(all_stations_stable(lambda, mu, 0.2));
+}
+
+TEST(Stability, SizeMismatchThrows) {
+  EXPECT_THROW(all_stations_stable(std::vector<double>{1.0},
+                                   std::vector<double>{2.0, 3.0}),
+               std::invalid_argument);
+}
+
+TEST(Stability, SystemStable) {
+  const std::vector<double> mu{10.0, 20.0};
+  EXPECT_TRUE(system_stable(29.9, mu));
+  EXPECT_FALSE(system_stable(30.0, mu));
+  EXPECT_FALSE(system_stable(-1.0, mu));
+}
+
+TEST(Stability, SystemUtilization) {
+  const std::vector<double> mu{10.0, 20.0, 50.0, 100.0};
+  EXPECT_DOUBLE_EQ(system_utilization(90.0, mu), 0.5);
+  EXPECT_DOUBLE_EQ(system_utilization(0.0, mu), 0.0);
+}
+
+TEST(Stability, TotalCapacity) {
+  EXPECT_DOUBLE_EQ(total_capacity(std::vector<double>{1.5, 2.5}), 4.0);
+  EXPECT_THROW(total_capacity(std::vector<double>{1.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(total_capacity(std::vector<double>{-1.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nashlb::queueing

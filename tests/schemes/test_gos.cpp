@@ -1,0 +1,146 @@
+#include "schemes/gos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/cost.hpp"
+#include "schemes/metrics.hpp"
+#include "schemes/ps.hpp"
+
+namespace nashlb::schemes {
+namespace {
+
+core::Instance instance(double util = 0.6, std::size_t users = 4) {
+  core::Instance inst;
+  inst.mu = {10.0, 20.0, 50.0, 100.0};
+  const double phi = util * 180.0;
+  // Uneven users (heavier first), like the paper's population.
+  std::vector<double> q{0.4, 0.3, 0.2, 0.1};
+  q.resize(users, 0.1);
+  double t = std::accumulate(q.begin(), q.end(), 0.0);
+  for (double& x : q) x /= t;
+  inst.phi.clear();
+  for (double x : q) inst.phi.push_back(x * phi);
+  return inst;
+}
+
+TEST(GOS, OptimalLoadsSatisfyKkt) {
+  const core::Instance inst = instance();
+  const std::vector<double> lambda =
+      GlobalOptimalScheme::optimal_loads(inst);
+  double alpha = -1.0;
+  for (std::size_t i = 0; i < lambda.size(); ++i) {
+    if (lambda[i] > 1e-9) {
+      const double slack = inst.mu[i] - lambda[i];
+      const double g = inst.mu[i] / (slack * slack);
+      if (alpha < 0.0) {
+        alpha = g;
+      } else {
+        EXPECT_NEAR(g, alpha, 1e-6 * alpha);
+      }
+    }
+  }
+}
+
+TEST(GOS, BothSplitsRealizeTheSameAggregateLoads) {
+  const core::Instance inst = instance();
+  const std::vector<double> lambda =
+      GlobalOptimalScheme::optimal_loads(inst);
+  for (GosSplit split : {GosSplit::GreedyFill, GosSplit::Uniform}) {
+    const core::StrategyProfile s = GlobalOptimalScheme(split).solve(inst);
+    EXPECT_TRUE(s.is_feasible(inst));
+    const std::vector<double> realized = s.loads(inst);
+    for (std::size_t i = 0; i < lambda.size(); ++i) {
+      EXPECT_NEAR(realized[i], lambda[i], 1e-8 * (1.0 + lambda[i]))
+          << "split " << static_cast<int>(split) << " computer " << i;
+    }
+  }
+}
+
+TEST(GOS, BothSplitsAttainTheSameOverallOptimum) {
+  const core::Instance inst = instance();
+  const Metrics greedy =
+      evaluate(inst, GlobalOptimalScheme(GosSplit::GreedyFill).solve(inst));
+  const Metrics uniform =
+      evaluate(inst, GlobalOptimalScheme(GosSplit::Uniform).solve(inst));
+  EXPECT_NEAR(greedy.overall_response_time, uniform.overall_response_time,
+              1e-9);
+}
+
+TEST(GOS, BeatsPsOnOverallResponseTime) {
+  for (double util : {0.3, 0.6, 0.85}) {
+    const core::Instance inst = instance(util);
+    const Metrics gos =
+        evaluate(inst, GlobalOptimalScheme().solve(inst));
+    const Metrics ps = evaluate(inst, ProportionalScheme().solve(inst));
+    EXPECT_LE(gos.overall_response_time,
+              ps.overall_response_time + 1e-12)
+        << "util " << util;
+  }
+}
+
+TEST(GOS, GlobalOptimalityAgainstRandomLoadVectors) {
+  const core::Instance inst = instance();
+  const double phi = inst.total_arrival_rate();
+  const std::vector<double> lambda =
+      GlobalOptimalScheme::optimal_loads(inst);
+  const double opt =
+      core::overall_response_time_from_loads(lambda, inst.mu);
+  // Deterministic competitor grid: mixture of proportional and uniform.
+  for (int k = 0; k <= 10; ++k) {
+    const double a = k / 10.0;
+    std::vector<double> l(inst.mu.size());
+    for (std::size_t i = 0; i < l.size(); ++i) {
+      l[i] = a * phi * inst.mu[i] / 180.0 +
+             (1.0 - a) * phi / static_cast<double>(l.size());
+    }
+    if (!std::all_of(l.begin(), l.end(), [&](double x) { return x > 0; })) {
+      continue;
+    }
+    bool stable = true;
+    for (std::size_t i = 0; i < l.size(); ++i) {
+      if (l[i] >= inst.mu[i]) stable = false;
+    }
+    if (!stable) continue;
+    EXPECT_GE(core::overall_response_time_from_loads(l, inst.mu),
+              opt - 1e-12);
+  }
+}
+
+TEST(GOS, GreedyFillIsUnfairUniformIsFair) {
+  // The A1 ablation in miniature: same optimum, opposite fairness.
+  const core::Instance inst = instance(0.7, 4);
+  const Metrics greedy =
+      evaluate(inst, GlobalOptimalScheme(GosSplit::GreedyFill).solve(inst));
+  const Metrics uniform =
+      evaluate(inst, GlobalOptimalScheme(GosSplit::Uniform).solve(inst));
+  EXPECT_NEAR(uniform.fairness, 1.0, 1e-9);
+  EXPECT_LT(greedy.fairness, 0.95);
+}
+
+TEST(GOS, GreedyFillRowsAreValidStrategies) {
+  const core::Instance inst = instance(0.5, 6);
+  const core::StrategyProfile s = GlobalOptimalScheme().solve(inst);
+  for (std::size_t j = 0; j < inst.num_users(); ++j) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < inst.num_computers(); ++i) {
+      EXPECT_GE(s.at(j, i), 0.0);
+      total += s.at(j, i);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(GOS, LowLoadConcentratesOnFastComputers) {
+  const core::Instance inst = instance(0.05);
+  const std::vector<double> lambda =
+      GlobalOptimalScheme::optimal_loads(inst);
+  // At 5% utilization the slowest computers stay empty.
+  EXPECT_DOUBLE_EQ(lambda[0], 0.0);
+  EXPECT_GT(lambda[3], 0.0);
+}
+
+}  // namespace
+}  // namespace nashlb::schemes

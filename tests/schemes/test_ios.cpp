@@ -1,0 +1,124 @@
+#include "schemes/ios.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/cost.hpp"
+#include "schemes/gos.hpp"
+#include "schemes/metrics.hpp"
+
+namespace nashlb::schemes {
+namespace {
+
+core::Instance instance(double util = 0.6) {
+  core::Instance inst;
+  inst.mu = {10.0, 20.0, 50.0, 100.0};
+  const double phi = util * 180.0;
+  inst.phi = {0.5 * phi, 0.3 * phi, 0.2 * phi};
+  return inst;
+}
+
+TEST(IOS, WardropLoadsEqualizeResponseTimes) {
+  const core::Instance inst = instance();
+  const std::vector<double> lambda =
+      IndividualOptimalScheme::wardrop_loads(inst);
+  double common = -1.0;
+  for (std::size_t i = 0; i < lambda.size(); ++i) {
+    if (lambda[i] > 1e-9) {
+      const double f = 1.0 / (inst.mu[i] - lambda[i]);
+      if (common < 0.0) {
+        common = f;
+      } else {
+        EXPECT_NEAR(f, common, 1e-9 * common);
+      }
+    }
+  }
+  // No idle computer would be faster (Wardrop's first principle).
+  for (std::size_t i = 0; i < lambda.size(); ++i) {
+    if (lambda[i] <= 1e-9) {
+      EXPECT_GE(1.0 / inst.mu[i], common - 1e-9);
+    }
+  }
+}
+
+TEST(IOS, AllUsersGetIdenticalTimes) {
+  const core::Instance inst = instance();
+  const Metrics m = evaluate(inst, IndividualOptimalScheme().solve(inst));
+  EXPECT_NEAR(m.fairness, 1.0, 1e-12);
+  for (std::size_t j = 1; j < m.user_response_times.size(); ++j) {
+    EXPECT_NEAR(m.user_response_times[j], m.user_response_times[0], 1e-12);
+  }
+}
+
+TEST(IOS, NeverBeatsGosOnOverallTime) {
+  // The price of anarchy is >= 1: Wardrop flow cannot undercut the
+  // overall optimum.
+  for (double util : {0.2, 0.5, 0.8, 0.95}) {
+    const core::Instance inst = instance(util);
+    const Metrics ios =
+        evaluate(inst, IndividualOptimalScheme().solve(inst));
+    const Metrics gos = evaluate(inst, GlobalOptimalScheme().solve(inst));
+    EXPECT_GE(ios.overall_response_time,
+              gos.overall_response_time - 1e-12)
+        << "util " << util;
+  }
+}
+
+TEST(IOS, ProfileIsFeasible) {
+  const core::Instance inst = instance(0.9);
+  const core::StrategyProfile s = IndividualOptimalScheme().solve(inst);
+  EXPECT_TRUE(s.is_feasible(inst));
+}
+
+TEST(IosIterative, ConvergesToClosedForm) {
+  const core::Instance inst = instance(0.7);
+  const std::vector<double> exact =
+      IndividualOptimalScheme::wardrop_loads(inst);
+  const IosIterativeResult it = ios_iterative(inst, 1e-10, 200000, 0.5);
+  ASSERT_TRUE(it.converged);
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_NEAR(it.loads[i], exact[i], 1e-3 * (1.0 + exact[i]))
+        << "computer " << i;
+  }
+}
+
+TEST(IosIterative, IsSlowerThanClosedForm) {
+  // The paper calls the reference procedure "not very efficient": the
+  // iterative method needs many sweeps where the closed form needs none.
+  const core::Instance inst = instance(0.7);
+  const IosIterativeResult it = ios_iterative(inst, 1e-10);
+  EXPECT_GT(it.iterations, 10u);
+}
+
+TEST(IosIterative, SmallRelaxationConvergesSlower) {
+  const core::Instance inst = instance(0.6);
+  const IosIterativeResult fast = ios_iterative(inst, 1e-8, 200000, 0.9);
+  const IosIterativeResult slow = ios_iterative(inst, 1e-8, 200000, 0.05);
+  ASSERT_TRUE(fast.converged);
+  ASSERT_TRUE(slow.converged);
+  EXPECT_GT(slow.iterations, fast.iterations);
+}
+
+TEST(IosIterative, RejectsBadRelaxation) {
+  const core::Instance inst = instance();
+  EXPECT_THROW((void)ios_iterative(inst, 1e-8, 100, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)ios_iterative(inst, 1e-8, 100, 1.5),
+               std::invalid_argument);
+}
+
+TEST(IosIterative, LoadsStayStableThroughout) {
+  const core::Instance inst = instance(0.9);
+  const IosIterativeResult it = ios_iterative(inst, 1e-9);
+  double total = 0.0;
+  for (std::size_t i = 0; i < it.loads.size(); ++i) {
+    EXPECT_GE(it.loads[i], 0.0);
+    EXPECT_LT(it.loads[i], inst.mu[i]);
+    total += it.loads[i];
+  }
+  EXPECT_NEAR(total, inst.total_arrival_rate(), 1e-6);
+}
+
+}  // namespace
+}  // namespace nashlb::schemes

@@ -1,0 +1,52 @@
+#include "schemes/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/cost.hpp"
+#include "stats/fairness.hpp"
+
+namespace nashlb::schemes {
+namespace {
+
+core::Instance two_two() {
+  core::Instance inst;
+  inst.mu = {10.0, 5.0};
+  inst.phi = {4.0, 2.0};
+  return inst;
+}
+
+TEST(Metrics, MatchesCoreCostFunctions) {
+  const core::Instance inst = two_two();
+  const core::StrategyProfile s = core::StrategyProfile::proportional(inst);
+  const Metrics m = evaluate(inst, s);
+  EXPECT_NEAR(m.overall_response_time,
+              core::overall_response_time(inst, s), 1e-12);
+  const std::vector<double> d = core::user_response_times(inst, s);
+  ASSERT_EQ(m.user_response_times.size(), d.size());
+  for (std::size_t j = 0; j < d.size(); ++j) {
+    EXPECT_NEAR(m.user_response_times[j], d[j], 1e-12);
+  }
+  EXPECT_NEAR(m.fairness, stats::fairness_index(d), 1e-12);
+}
+
+TEST(Metrics, LoadsAndUtilization) {
+  const core::Instance inst = two_two();
+  core::StrategyProfile s(2, 2);
+  s.set_row(0, std::vector<double>{1.0, 0.0});
+  s.set_row(1, std::vector<double>{0.0, 1.0});
+  const Metrics m = evaluate(inst, s);
+  EXPECT_DOUBLE_EQ(m.loads[0], 4.0);
+  EXPECT_DOUBLE_EQ(m.loads[1], 2.0);
+  EXPECT_DOUBLE_EQ(m.computer_utilization[0], 0.4);
+  EXPECT_DOUBLE_EQ(m.computer_utilization[1], 0.4);
+}
+
+TEST(Metrics, ProportionalProfileIsPerfectlyFair) {
+  const core::Instance inst = two_two();
+  const Metrics m =
+      evaluate(inst, core::StrategyProfile::proportional(inst));
+  EXPECT_NEAR(m.fairness, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace nashlb::schemes

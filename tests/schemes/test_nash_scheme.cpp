@@ -1,0 +1,104 @@
+#include "schemes/nash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/equilibrium.hpp"
+#include "schemes/gos.hpp"
+#include "schemes/metrics.hpp"
+#include "schemes/ps.hpp"
+
+namespace nashlb::schemes {
+namespace {
+
+core::Instance instance(double util = 0.6) {
+  core::Instance inst;
+  inst.mu = {10.0, 10.0, 20.0, 50.0, 100.0};
+  const double cap = std::accumulate(inst.mu.begin(), inst.mu.end(), 0.0);
+  const double phi = util * cap;
+  inst.phi = {0.4 * phi, 0.3 * phi, 0.2 * phi, 0.1 * phi};
+  return inst;
+}
+
+TEST(NashScheme, ProducesANashEquilibrium) {
+  const core::Instance inst = instance();
+  for (auto init :
+       {core::Initialization::Zero, core::Initialization::Proportional}) {
+    const NashScheme scheme(init, 1e-9);
+    const core::StrategyProfile s = scheme.solve(inst);
+    EXPECT_TRUE(s.is_feasible(inst));
+    EXPECT_TRUE(core::is_nash_equilibrium(inst, s, 1e-6))
+        << scheme.name();
+  }
+}
+
+TEST(NashScheme, NamesDistinguishVariants) {
+  EXPECT_EQ(NashScheme(core::Initialization::Zero).name(), "NASH_0");
+  EXPECT_EQ(NashScheme(core::Initialization::Proportional).name(),
+            "NASH_P");
+}
+
+TEST(NashScheme, TraceExposesConvergenceHistory) {
+  const core::Instance inst = instance();
+  const NashScheme scheme(core::Initialization::Proportional, 1e-8);
+  const core::DynamicsResult res = scheme.solve_with_trace(inst);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.norm_history.size(), res.iterations);
+  EXPECT_GE(res.iterations, 1u);
+}
+
+TEST(NashScheme, NashPNeedsFewerIterationsThanNash0) {
+  const core::Instance inst = instance();
+  const auto r0 =
+      NashScheme(core::Initialization::Zero, 1e-8).solve_with_trace(inst);
+  const auto rp = NashScheme(core::Initialization::Proportional, 1e-8)
+                      .solve_with_trace(inst);
+  ASSERT_TRUE(r0.converged);
+  ASSERT_TRUE(rp.converged);
+  EXPECT_LT(rp.iterations, r0.iterations);
+}
+
+TEST(NashScheme, ThrowsIfCapTooSmall) {
+  const core::Instance inst = instance(0.9);
+  const NashScheme scheme(core::Initialization::Zero, 1e-12, 1);
+  EXPECT_THROW((void)scheme.solve(inst), std::runtime_error);
+}
+
+TEST(NashScheme, BetweenGosAndPsOnOverallTime) {
+  // Figure 4's ordering at medium/high load: GOS <= NASH <= PS.
+  for (double util : {0.4, 0.6, 0.8}) {
+    const core::Instance inst = instance(util);
+    const Metrics nash =
+        evaluate(inst, NashScheme(core::Initialization::Proportional, 1e-8)
+                           .solve(inst));
+    const Metrics gos = evaluate(inst, GlobalOptimalScheme().solve(inst));
+    const Metrics ps = evaluate(inst, ProportionalScheme().solve(inst));
+    EXPECT_GE(nash.overall_response_time,
+              gos.overall_response_time - 1e-9)
+        << util;
+    EXPECT_LE(nash.overall_response_time,
+              ps.overall_response_time + 1e-9)
+        << util;
+  }
+}
+
+TEST(NashScheme, NearPerfectFairness) {
+  const core::Instance inst = instance(0.6);
+  const Metrics m = evaluate(
+      inst,
+      NashScheme(core::Initialization::Proportional, 1e-8).solve(inst));
+  EXPECT_GT(m.fairness, 0.98);  // "close to 1" (§4.2.2)
+}
+
+TEST(NashScheme, EachUserAtItsPersonalOptimum) {
+  // User-optimality: no user can improve by deviating (checked through
+  // the best-reply gain, which is the definition).
+  const core::Instance inst = instance(0.5);
+  const core::StrategyProfile s =
+      NashScheme(core::Initialization::Proportional, 1e-10).solve(inst);
+  EXPECT_LE(core::max_best_reply_gain(inst, s), 1e-7);
+}
+
+}  // namespace
+}  // namespace nashlb::schemes

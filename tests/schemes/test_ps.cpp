@@ -1,0 +1,69 @@
+#include "schemes/ps.hpp"
+
+#include <gtest/gtest.h>
+
+#include "schemes/metrics.hpp"
+
+namespace nashlb::schemes {
+namespace {
+
+core::Instance instance(double util = 0.6) {
+  core::Instance inst;
+  inst.mu = {10.0, 20.0, 50.0, 100.0};
+  const double phi = util * 180.0;
+  inst.phi = {0.5 * phi, 0.3 * phi, 0.2 * phi};
+  return inst;
+}
+
+TEST(PS, FractionsAreProportionalToRates) {
+  const core::Instance inst = instance();
+  const core::StrategyProfile s = ProportionalScheme().solve(inst);
+  for (std::size_t j = 0; j < inst.num_users(); ++j) {
+    EXPECT_NEAR(s.at(j, 0), 10.0 / 180.0, 1e-12);
+    EXPECT_NEAR(s.at(j, 3), 100.0 / 180.0, 1e-12);
+  }
+  EXPECT_TRUE(s.is_feasible(inst));
+}
+
+TEST(PS, EqualUtilizationEverywhere) {
+  // PS loads every computer at exactly the system utilization.
+  const core::Instance inst = instance(0.6);
+  const Metrics m = evaluate(inst, ProportionalScheme().solve(inst));
+  for (double u : m.computer_utilization) {
+    EXPECT_NEAR(u, 0.6, 1e-12);
+  }
+}
+
+TEST(PS, FairnessIsExactlyOneAtAnyLoad) {
+  // The paper: "It can be shown that for this scheme the fairness index
+  // is always 1" — every user sees identical response times.
+  for (double util : {0.1, 0.4, 0.7, 0.9}) {
+    const core::Instance inst = instance(util);
+    const Metrics m = evaluate(inst, ProportionalScheme().solve(inst));
+    EXPECT_NEAR(m.fairness, 1.0, 1e-12) << "util " << util;
+    for (std::size_t j = 1; j < m.user_response_times.size(); ++j) {
+      EXPECT_NEAR(m.user_response_times[j], m.user_response_times[0],
+                  1e-12);
+    }
+  }
+}
+
+TEST(PS, ResponseTimeEqualsRateWeightedMM1Average) {
+  // With every queue at utilization rho, PS response time is
+  // sum_i (mu_i/M) * 1/(mu_i(1-rho)) / ... = n / (M (1-rho)).
+  const core::Instance inst = instance(0.5);
+  const Metrics m = evaluate(inst, ProportionalScheme().solve(inst));
+  const double expected = 4.0 / (180.0 * 0.5);
+  EXPECT_NEAR(m.overall_response_time, expected, 1e-12);
+}
+
+TEST(PS, RejectsInvalidInstance) {
+  core::Instance inst;
+  inst.mu = {1.0};
+  inst.phi = {2.0};
+  EXPECT_THROW((void)ProportionalScheme().solve(inst),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nashlb::schemes

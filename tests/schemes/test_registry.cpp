@@ -1,0 +1,46 @@
+#include "schemes/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace nashlb::schemes {
+namespace {
+
+TEST(Registry, PaperSchemesAreTheFigureLineup) {
+  const std::vector<SchemePtr> schemes = paper_schemes();
+  ASSERT_EQ(schemes.size(), 4u);
+  EXPECT_EQ(schemes[0]->name(), "NASH_P");
+  EXPECT_EQ(schemes[1]->name(), "GOS");
+  EXPECT_EQ(schemes[2]->name(), "IOS");
+  EXPECT_EQ(schemes[3]->name(), "PS");
+}
+
+TEST(Registry, MakeSchemeKnowsEveryName) {
+  for (const char* name :
+       {"NASH", "NASH_0", "NASH_P", "GOS", "GOS_UNIFORM", "IOS", "PS",
+        "NBS"}) {
+    const SchemePtr s = make_scheme(name);
+    ASSERT_NE(s, nullptr) << name;
+    EXPECT_FALSE(s->name().empty());
+  }
+}
+
+TEST(Registry, MakeSchemeRejectsUnknown) {
+  EXPECT_THROW((void)make_scheme("FIFO"), std::invalid_argument);
+  EXPECT_THROW((void)make_scheme(""), std::invalid_argument);
+}
+
+TEST(Registry, SchemesSolveAConcreteInstance) {
+  core::Instance inst;
+  inst.mu = {10.0, 20.0, 50.0};
+  inst.phi = {15.0, 10.0};
+  for (const SchemePtr& scheme : paper_schemes(1e-6)) {
+    const core::StrategyProfile s = scheme->solve(inst);
+    EXPECT_TRUE(s.is_feasible(inst)) << scheme->name();
+  }
+}
+
+}  // namespace
+}  // namespace nashlb::schemes

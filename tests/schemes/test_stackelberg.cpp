@@ -1,0 +1,110 @@
+#include "schemes/stackelberg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/cost.hpp"
+#include "schemes/gos.hpp"
+#include "schemes/ios.hpp"
+
+namespace nashlb::schemes {
+namespace {
+
+core::Instance instance(double util = 0.6) {
+  core::Instance inst;
+  inst.mu = {10.0, 20.0, 50.0, 100.0};
+  const double phi = util * 180.0;
+  inst.phi = {0.5 * phi, 0.3 * phi, 0.2 * phi};
+  return inst;
+}
+
+TEST(Stackelberg, RejectsBadBeta) {
+  const core::Instance inst = instance();
+  EXPECT_THROW((void)stackelberg_llf(inst, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)stackelberg_llf(inst, 1.1), std::invalid_argument);
+}
+
+TEST(Stackelberg, BetaZeroIsWardrop) {
+  const core::Instance inst = instance();
+  const StackelbergResult r = stackelberg_llf(inst, 0.0);
+  const std::vector<double> wardrop =
+      IndividualOptimalScheme::wardrop_loads(inst);
+  for (std::size_t i = 0; i < wardrop.size(); ++i) {
+    EXPECT_NEAR(r.total_flow()[i], wardrop[i], 1e-9);
+    EXPECT_DOUBLE_EQ(r.leader_flow[i], 0.0);
+  }
+}
+
+TEST(Stackelberg, BetaOneIsGlobalOptimum) {
+  const core::Instance inst = instance();
+  const StackelbergResult r = stackelberg_llf(inst, 1.0);
+  const std::vector<double> opt =
+      GlobalOptimalScheme::optimal_loads(inst);
+  for (std::size_t i = 0; i < opt.size(); ++i) {
+    EXPECT_NEAR(r.total_flow()[i], opt[i], 1e-9);
+    EXPECT_DOUBLE_EQ(r.follower_flow[i], 0.0);
+  }
+}
+
+TEST(Stackelberg, FlowConservation) {
+  const core::Instance inst = instance(0.8);
+  for (double beta : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const StackelbergResult r = stackelberg_llf(inst, beta);
+    const std::vector<double> total = r.total_flow();
+    const double sum =
+        std::accumulate(total.begin(), total.end(), 0.0);
+    EXPECT_NEAR(sum, inst.total_arrival_rate(), 1e-9) << beta;
+    double leader = std::accumulate(r.leader_flow.begin(),
+                                    r.leader_flow.end(), 0.0);
+    EXPECT_NEAR(leader, beta * inst.total_arrival_rate(), 1e-9) << beta;
+    for (std::size_t i = 0; i < total.size(); ++i) {
+      EXPECT_GE(r.leader_flow[i], 0.0);
+      EXPECT_GE(r.follower_flow[i], 0.0);
+      EXPECT_LT(total[i], inst.mu[i]);
+    }
+  }
+}
+
+TEST(Stackelberg, InducedCostBetweenWardropAndOptimum) {
+  const core::Instance inst = instance(0.7);
+  const double d_wardrop =
+      stackelberg_response_time(inst, stackelberg_llf(inst, 0.0));
+  const double d_opt =
+      stackelberg_response_time(inst, stackelberg_llf(inst, 1.0));
+  for (double beta : {0.2, 0.5, 0.8}) {
+    const double d =
+        stackelberg_response_time(inst, stackelberg_llf(inst, beta));
+    EXPECT_GE(d, d_opt - 1e-12) << beta;
+    EXPECT_LE(d, d_wardrop + 1e-9) << beta;
+  }
+}
+
+TEST(Stackelberg, RoughgardenOneOverBetaBound) {
+  // LLF guarantee: induced cost <= (1/beta) * optimal cost.
+  const core::Instance inst = instance(0.85);
+  const double d_opt =
+      stackelberg_response_time(inst, stackelberg_llf(inst, 1.0));
+  for (double beta : {0.25, 0.5, 0.75}) {
+    const double d =
+        stackelberg_response_time(inst, stackelberg_llf(inst, beta));
+    EXPECT_LE(d, d_opt / beta + 1e-9) << beta;
+  }
+}
+
+TEST(Stackelberg, LeaderFillsSlowestOptimalMachinesFirst) {
+  // LLF places leader flow on the machines with the largest latency
+  // under the optimal flow — for the sqrt rule, the slowest machines.
+  const core::Instance inst = instance(0.7);
+  const StackelbergResult r = stackelberg_llf(inst, 0.3);
+  // Leader budget = 0.3 * 126 = 37.8; optimal loads on mu={10,20} total
+  // less than that, so both slow machines are fully leader-owned.
+  const std::vector<double> opt =
+      GlobalOptimalScheme::optimal_loads(inst);
+  EXPECT_NEAR(r.leader_flow[0], opt[0], 1e-9);
+  EXPECT_NEAR(r.leader_flow[1], opt[1], 1e-9);
+  EXPECT_DOUBLE_EQ(r.leader_flow[3], 0.0);
+}
+
+}  // namespace
+}  // namespace nashlb::schemes

@@ -1,0 +1,86 @@
+#include "simmodel/replication.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/cost.hpp"
+
+namespace nashlb::simmodel {
+namespace {
+
+core::Instance instance() {
+  core::Instance inst;
+  inst.mu = {10.0, 5.0};
+  inst.phi = {4.0, 2.0};
+  return inst;
+}
+
+ReplicationConfig quick_config(std::size_t reps = 5) {
+  ReplicationConfig cfg;
+  cfg.base.horizon = 2000.0;
+  cfg.base.warmup = 100.0;
+  cfg.replications = reps;
+  return cfg;
+}
+
+TEST(Replication, RequiresAtLeastTwo) {
+  const core::Instance inst = instance();
+  const core::StrategyProfile s = core::StrategyProfile::proportional(inst);
+  ReplicationConfig cfg = quick_config(1);
+  EXPECT_THROW((void)replicate(inst, s, cfg), std::invalid_argument);
+}
+
+TEST(Replication, IntervalsCoverAnalyticTruth) {
+  // §4.1's acceptance criterion in miniature: CI contains theory.
+  const core::Instance inst = instance();
+  const core::StrategyProfile s = core::StrategyProfile::proportional(inst);
+  const ReplicatedResult r = replicate(inst, s, quick_config());
+  const std::vector<double> truth = core::user_response_times(inst, s);
+  ASSERT_EQ(r.user_response.size(), 2u);
+  for (std::size_t j = 0; j < 2; ++j) {
+    // Allow the interval a small numerical margin around the truth.
+    EXPECT_LT(std::abs(r.user_response[j].mean - truth[j]),
+              3.0 * r.user_response[j].half_width + 0.05 * truth[j])
+        << "user " << j;
+  }
+  EXPECT_EQ(r.runs.size(), 5u);
+  EXPECT_GT(r.total_jobs, 5u * 2000u * 5u);  // ~Phi * horizon * reps
+}
+
+TEST(Replication, DeterministicAcrossThreadCounts) {
+  const core::Instance inst = instance();
+  const core::StrategyProfile s = core::StrategyProfile::proportional(inst);
+  ReplicationConfig seq = quick_config(4);
+  seq.base.horizon = 500.0;
+  seq.threads = 1;
+  ReplicationConfig par = seq;
+  par.threads = 4;
+  const ReplicatedResult a = replicate(inst, s, seq);
+  const ReplicatedResult b = replicate(inst, s, par);
+  EXPECT_DOUBLE_EQ(a.overall_response.mean, b.overall_response.mean);
+  for (std::size_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(a.runs[r].jobs_generated, b.runs[r].jobs_generated);
+    EXPECT_DOUBLE_EQ(a.runs[r].overall_mean_response,
+                     b.runs[r].overall_mean_response);
+  }
+}
+
+TEST(Replication, RelativeHalfWidthIsSmall) {
+  // The paper reports standard error below 5% at 95% confidence; our
+  // replications at this horizon meet the same bar.
+  const core::Instance inst = instance();
+  const core::StrategyProfile s = core::StrategyProfile::proportional(inst);
+  const ReplicatedResult r = replicate(inst, s, quick_config());
+  EXPECT_LT(r.overall_response.relative_half_width(), 0.05);
+}
+
+TEST(Replication, UtilizationAveragedAcrossRuns) {
+  const core::Instance inst = instance();
+  const core::StrategyProfile s = core::StrategyProfile::proportional(inst);
+  const ReplicatedResult r = replicate(inst, s, quick_config(3));
+  ASSERT_EQ(r.computer_utilization.size(), 2u);
+  EXPECT_NEAR(r.computer_utilization[0], 0.4, 0.05);
+  EXPECT_NEAR(r.computer_utilization[1], 0.4, 0.05);
+}
+
+}  // namespace
+}  // namespace nashlb::simmodel

@@ -1,0 +1,114 @@
+#include "stats/confidence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nashlb::stats {
+namespace {
+
+TEST(IncompleteBeta, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBeta, SymmetricCase) {
+  // I_{1/2}(a, a) = 1/2 by symmetry.
+  for (double a : {0.5, 1.0, 2.0, 7.5}) {
+    EXPECT_NEAR(incomplete_beta(a, a, 0.5), 0.5, 1e-10);
+  }
+}
+
+TEST(IncompleteBeta, UniformSpecialCase) {
+  // I_x(1, 1) = x.
+  for (double x : {0.1, 0.25, 0.9}) {
+    EXPECT_NEAR(incomplete_beta(1.0, 1.0, x), x, 1e-12);
+  }
+}
+
+TEST(IncompleteBeta, KnownValue) {
+  // I_x(2, 2) = x^2 (3 - 2x).
+  const double x = 0.3;
+  EXPECT_NEAR(incomplete_beta(2.0, 2.0, x), x * x * (3 - 2 * x), 1e-12);
+}
+
+TEST(IncompleteBeta, RejectsBadParams) {
+  EXPECT_THROW(incomplete_beta(0.0, 1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(incomplete_beta(1.0, -1.0, 0.5), std::invalid_argument);
+}
+
+TEST(StudentT, CdfAtZeroIsHalf) {
+  for (double dof : {1.0, 4.0, 30.0}) {
+    EXPECT_NEAR(student_t_cdf(0.0, dof), 0.5, 1e-12);
+  }
+}
+
+TEST(StudentT, CdfSymmetry) {
+  EXPECT_NEAR(student_t_cdf(1.7, 6.0) + student_t_cdf(-1.7, 6.0), 1.0,
+              1e-10);
+}
+
+TEST(StudentT, Dof1IsCauchy) {
+  // t with 1 dof is Cauchy: CDF(t) = 1/2 + atan(t)/pi.
+  const double t = 2.0;
+  EXPECT_NEAR(student_t_cdf(t, 1.0),
+              0.5 + std::atan(t) / 3.14159265358979323846, 1e-10);
+}
+
+TEST(StudentT, CriticalValuesMatchTables) {
+  // Standard two-sided 95% critical values.
+  EXPECT_NEAR(student_t_critical(0.95, 4.0), 2.776, 2e-3);   // R = 5
+  EXPECT_NEAR(student_t_critical(0.95, 9.0), 2.262, 2e-3);
+  EXPECT_NEAR(student_t_critical(0.95, 29.0), 2.045, 2e-3);
+  EXPECT_NEAR(student_t_critical(0.99, 4.0), 4.604, 5e-3);
+  EXPECT_NEAR(student_t_critical(0.90, 4.0), 2.132, 2e-3);
+}
+
+TEST(StudentT, CriticalApproachesNormalForLargeDof) {
+  EXPECT_NEAR(student_t_critical(0.95, 10000.0), 1.960, 2e-3);
+}
+
+TEST(StudentT, RejectsBadInputs) {
+  EXPECT_THROW(student_t_critical(0.0, 4.0), std::invalid_argument);
+  EXPECT_THROW(student_t_critical(1.0, 4.0), std::invalid_argument);
+  EXPECT_THROW(student_t_critical(0.95, 0.5), std::invalid_argument);
+  EXPECT_THROW(student_t_cdf(0.0, 0.0), std::invalid_argument);
+}
+
+TEST(TInterval, FiveReplicationCase) {
+  // The paper's setup: 5 replications -> 4 dof, t* = 2.776.
+  const std::vector<double> reps{10.0, 11.0, 9.0, 10.5, 9.5};
+  const ConfidenceInterval ci = t_interval(reps, 0.95);
+  EXPECT_NEAR(ci.mean, 10.0, 1e-12);
+  // s = sqrt(0.625), hw = 2.776 * s / sqrt(5)
+  EXPECT_NEAR(ci.half_width, 2.776 * std::sqrt(0.625) / std::sqrt(5.0),
+              2e-3);
+  EXPECT_TRUE(ci.contains(10.0));
+  EXPECT_FALSE(ci.contains(12.0));
+  EXPECT_DOUBLE_EQ(ci.lower(), ci.mean - ci.half_width);
+  EXPECT_DOUBLE_EQ(ci.upper(), ci.mean + ci.half_width);
+}
+
+TEST(TInterval, RelativeHalfWidth) {
+  ConfidenceInterval ci;
+  ci.mean = 10.0;
+  ci.half_width = 0.4;
+  EXPECT_NEAR(ci.relative_half_width(), 0.04, 1e-12);
+  ci.mean = 0.0;
+  EXPECT_TRUE(std::isinf(ci.relative_half_width()));
+}
+
+TEST(TInterval, RequiresTwoSamples) {
+  EXPECT_THROW(t_interval({1.0}), std::invalid_argument);
+  EXPECT_THROW(t_interval({}), std::invalid_argument);
+}
+
+TEST(TInterval, IdenticalSamplesZeroWidth) {
+  const ConfidenceInterval ci = t_interval({2.0, 2.0, 2.0});
+  EXPECT_DOUBLE_EQ(ci.mean, 2.0);
+  EXPECT_DOUBLE_EQ(ci.half_width, 0.0);
+}
+
+}  // namespace
+}  // namespace nashlb::stats

@@ -1,0 +1,64 @@
+#include "stats/fairness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace nashlb::stats {
+namespace {
+
+TEST(Fairness, EqualValuesAreFair) {
+  const std::vector<double> v{3.0, 3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(fairness_index(v), 1.0);
+}
+
+TEST(Fairness, SingleValueIsFair) {
+  const std::vector<double> v{42.0};
+  EXPECT_DOUBLE_EQ(fairness_index(v), 1.0);
+}
+
+TEST(Fairness, OneUserTakesAllIsOneOverM) {
+  const std::vector<double> v{7.0, 0.0, 0.0, 0.0, 0.0};
+  EXPECT_NEAR(fairness_index(v), 0.2, 1e-12);
+}
+
+TEST(Fairness, KnownMixedVector) {
+  // I = (1+2+3)^2 / (3 * (1+4+9)) = 36/42.
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_NEAR(fairness_index(v), 36.0 / 42.0, 1e-12);
+}
+
+TEST(Fairness, ScaleInvariant) {
+  const std::vector<double> v{1.0, 2.0, 5.0, 0.5};
+  std::vector<double> scaled;
+  for (double x : v) scaled.push_back(1000.0 * x);
+  EXPECT_NEAR(fairness_index(v), fairness_index(scaled), 1e-12);
+}
+
+TEST(Fairness, BoundedBetweenOneOverMAndOne) {
+  const std::vector<double> v{0.1, 0.7, 3.0, 9.0, 2.2};
+  const double f = fairness_index(v);
+  EXPECT_GE(f, 1.0 / 5.0);
+  EXPECT_LE(f, 1.0);
+}
+
+TEST(Fairness, EmptyAndAllZeroAreVacuouslyFair) {
+  EXPECT_DOUBLE_EQ(fairness_index(std::vector<double>{}), 1.0);
+  EXPECT_DOUBLE_EQ(fairness_index(std::vector<double>{0.0, 0.0}), 1.0);
+}
+
+TEST(Fairness, RejectsNegativeOrNonFinite) {
+  EXPECT_THROW(fairness_index(std::vector<double>{1.0, -1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(fairness_index(std::vector<double>{1.0, std::nan("")}),
+               std::invalid_argument);
+  EXPECT_THROW(fairness_index(std::vector<double>{
+                   1.0, std::numeric_limits<double>::infinity()}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nashlb::stats

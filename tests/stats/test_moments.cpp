@@ -1,0 +1,122 @@
+#include "stats/moments.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace nashlb::stats {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  const RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.std_error(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> xs{1.0, 2.0, 4.0, 8.0, 16.0};
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_DOUBLE_EQ(s.mean(), 6.2);
+  // Unbiased variance: sum((x-6.2)^2)/4 = (27.04+17.64+4.84+3.24+96.04)/4
+  EXPECT_NEAR(s.variance(), 37.2, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(37.2), 1e-12);
+  EXPECT_NEAR(s.std_error(), std::sqrt(37.2 / 5.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 16.0);
+  EXPECT_NEAR(s.sum(), 31.0, 1e-12);
+}
+
+TEST(RunningStats, NumericallyStableForLargeOffsets) {
+  // Classic catastrophic-cancellation case: tiny variance on a huge mean.
+  RunningStats s;
+  const double base = 1e9;
+  for (int i = 0; i < 1000; ++i) s.add(base + (i % 2 == 0 ? 0.5 : -0.5));
+  EXPECT_NEAR(s.mean(), base, 1e-3);
+  EXPECT_NEAR(s.variance(), 0.2502502502, 1e-4);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.1 * i * i - 3.0 * i;
+    (i < 20 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean_before = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+  EXPECT_EQ(a.count(), 2u);
+
+  RunningStats c;
+  c.merge(a);
+  EXPECT_DOUBLE_EQ(c.mean(), a.mean());
+  EXPECT_EQ(c.count(), 2u);
+}
+
+TEST(TimeWeighted, ConstantSignal) {
+  TimeWeighted tw(0.0, 5.0);
+  EXPECT_DOUBLE_EQ(tw.average(10.0), 5.0);
+}
+
+TEST(TimeWeighted, StepSignal) {
+  TimeWeighted tw(0.0, 0.0);
+  tw.update(2.0, 4.0);  // 0 on [0,2), 4 on [2,...)
+  EXPECT_DOUBLE_EQ(tw.average(4.0), 2.0);  // (0*2 + 4*2)/4
+}
+
+TEST(TimeWeighted, MultipleSteps) {
+  TimeWeighted tw(0.0, 1.0);
+  tw.update(1.0, 2.0);
+  tw.update(3.0, 0.0);
+  // 1 on [0,1), 2 on [1,3), 0 on [3,5): (1 + 4 + 0)/5 = 1.
+  EXPECT_DOUBLE_EQ(tw.average(5.0), 1.0);
+}
+
+TEST(TimeWeighted, EmptyIntervalIsZero) {
+  TimeWeighted tw(2.0, 9.0);
+  EXPECT_DOUBLE_EQ(tw.average(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(tw.average(1.0), 0.0);
+}
+
+TEST(TimeWeighted, CurrentTracksLastUpdate) {
+  TimeWeighted tw;
+  tw.update(1.0, 7.0);
+  EXPECT_DOUBLE_EQ(tw.current(), 7.0);
+}
+
+TEST(TimeWeighted, NonZeroStartTime) {
+  TimeWeighted tw(10.0, 3.0);
+  tw.update(12.0, 6.0);
+  // 3 on [10,12), 6 on [12,14): (6+12)/4 = 4.5.
+  EXPECT_DOUBLE_EQ(tw.average(14.0), 4.5);
+}
+
+}  // namespace
+}  // namespace nashlb::stats

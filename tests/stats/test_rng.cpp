@@ -1,0 +1,144 @@
+#include "stats/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace nashlb::stats {
+namespace {
+
+TEST(SplitMix64, KnownSequenceFromZeroSeed) {
+  // Reference values for seed 0 (SplitMix64 is fully specified).
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix64_next(state), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(splitmix64_next(state), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(splitmix64_next(state), 0x06c45d188009454fULL);
+}
+
+TEST(Xoshiro256, DeterministicForSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Xoshiro256, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Xoshiro256, NextDoubleInUnitInterval) {
+  Xoshiro256 g(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = g.next_double();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256, NextDoubleOpenNeverZero) {
+  Xoshiro256 g(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(g.next_double_open(), 0.0);
+    EXPECT_LE(g.next_double_open(), 1.0);
+  }
+}
+
+TEST(Xoshiro256, NextDoubleMeanIsHalf) {
+  Xoshiro256 g(123);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += g.next_double();
+  EXPECT_NEAR(sum / kN, 0.5, 0.005);
+}
+
+TEST(Xoshiro256, NextBelowRespectsBound) {
+  Xoshiro256 g(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(g.next_below(17), 17u);
+  }
+}
+
+TEST(Xoshiro256, NextBelowCoversAllResidues) {
+  Xoshiro256 g(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(g.next_below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Xoshiro256, NextBelowOneIsZero) {
+  Xoshiro256 g(3);
+  EXPECT_EQ(g.next_below(1), 0u);
+  EXPECT_EQ(g.next_below(0), 0u);
+}
+
+TEST(Xoshiro256, NextBelowApproxUniform) {
+  Xoshiro256 g(5);
+  std::vector<int> counts(8, 0);
+  constexpr int kN = 80000;
+  for (int i = 0; i < kN; ++i) ++counts[g.next_below(8)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kN / 8, kN / 8 / 5);  // within 20%
+  }
+}
+
+TEST(Xoshiro256, JumpChangesState) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  b.jump();
+  EXPECT_FALSE(a == b);
+  // Jumped generator produces a different sequence.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngStreams, SameIdSameStream) {
+  const RngStreams streams(99);
+  Xoshiro256 a = streams.stream(4);
+  Xoshiro256 b = streams.stream(4);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngStreams, DistinctIdsDecorrelated) {
+  const RngStreams streams(99);
+  Xoshiro256 a = streams.stream(0);
+  Xoshiro256 b = streams.stream(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngStreams, PairEncodingIsInjectiveForSmallIndices) {
+  const RngStreams streams(1);
+  // (rep, source) pairs within the simulator's usage never collide.
+  std::set<std::uint64_t> firsts;
+  for (std::uint64_t rep = 0; rep < 6; ++rep) {
+    for (std::uint64_t src = 0; src < 40; ++src) {
+      firsts.insert(streams.stream(rep, src)());
+    }
+  }
+  EXPECT_EQ(firsts.size(), 6u * 40u);
+}
+
+TEST(RngStreams, MasterSeedMatters) {
+  Xoshiro256 a = RngStreams(1).stream(0);
+  Xoshiro256 b = RngStreams(2).stream(0);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace nashlb::stats

@@ -1,0 +1,82 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace nashlb::util {
+namespace {
+
+Args parse(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), argv.begin(), argv.end());
+  return Args(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Args, EqualsSyntax) {
+  const Args a = parse({"--users=10"});
+  EXPECT_EQ(a.get_int("users", 0), 10);
+}
+
+TEST(Args, SpaceSyntax) {
+  const Args a = parse({"--users", "10"});
+  EXPECT_EQ(a.get_int("users", 0), 10);
+}
+
+TEST(Args, BareFlag) {
+  const Args a = parse({"--verbose"});
+  EXPECT_TRUE(a.has("verbose"));
+  EXPECT_TRUE(a.get_bool("verbose", false));
+}
+
+TEST(Args, MissingReturnsFallback) {
+  const Args a = parse({});
+  EXPECT_EQ(a.get("name", "dflt"), "dflt");
+  EXPECT_EQ(a.get_int("n", 7), 7);
+  EXPECT_DOUBLE_EQ(a.get_double("x", 2.5), 2.5);
+  EXPECT_FALSE(a.get_bool("b", false));
+}
+
+TEST(Args, Positionals) {
+  const Args a = parse({"first", "--k=v", "second"});
+  ASSERT_EQ(a.positional().size(), 2u);
+  EXPECT_EQ(a.positional()[0], "first");
+  EXPECT_EQ(a.positional()[1], "second");
+}
+
+TEST(Args, DoubleParsing) {
+  const Args a = parse({"--rho=0.65"});
+  EXPECT_DOUBLE_EQ(a.get_double("rho", 0.0), 0.65);
+}
+
+TEST(Args, BoolVariants) {
+  EXPECT_TRUE(parse({"--f=true"}).get_bool("f", false));
+  EXPECT_TRUE(parse({"--f=yes"}).get_bool("f", false));
+  EXPECT_TRUE(parse({"--f=1"}).get_bool("f", false));
+  EXPECT_FALSE(parse({"--f=false"}).get_bool("f", true));
+  EXPECT_FALSE(parse({"--f=off"}).get_bool("f", true));
+}
+
+TEST(Args, MalformedIntThrows) {
+  const Args a = parse({"--n=abc"});
+  EXPECT_THROW(a.get_int("n", 0), std::invalid_argument);
+}
+
+TEST(Args, MalformedDoubleThrows) {
+  const Args a = parse({"--x=1.2.3"});
+  EXPECT_THROW(a.get_double("x", 0.0), std::invalid_argument);
+}
+
+TEST(Args, MalformedBoolThrows) {
+  const Args a = parse({"--b=maybe"});
+  EXPECT_THROW(a.get_bool("b", false), std::invalid_argument);
+}
+
+TEST(Args, NegativeNumberAsValue) {
+  const Args a = parse({"--delta", "-5"});
+  // "-5" does not start with "--", so it is consumed as the value.
+  EXPECT_EQ(a.get_int("delta", 0), -5);
+}
+
+}  // namespace
+}  // namespace nashlb::util

@@ -1,0 +1,61 @@
+#include "util/plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace nashlb::util {
+namespace {
+
+TEST(Plot, RendersGridWithMarkers) {
+  const Series s{"norm", {1.0, 2.0, 3.0, 4.0}};
+  const std::string out = render_plot({s}, {.width = 20, .height = 5});
+  EXPECT_NE(out.find('n'), std::string::npos);   // marker = first char
+  EXPECT_NE(out.find("norm"), std::string::npos);  // legend
+  EXPECT_NE(out.find("x: 1..4"), std::string::npos);
+}
+
+TEST(Plot, LogScaleSkipsNonPositive) {
+  const Series s{"a", {1e-3, 0.0, 1e-1, 10.0}};
+  const std::string out =
+      render_plot({s}, {.width = 20, .height = 8, .log_y = true});
+  EXPECT_NE(out.find('a'), std::string::npos);
+}
+
+TEST(Plot, OverlapMarkedWithHash) {
+  const Series a{"a", {5.0, 5.0}};
+  const Series b{"b", {5.0, 1.0}};
+  const std::string out = render_plot({a, b}, {.width = 10, .height = 4});
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(Plot, FlatSeriesGetsWindow) {
+  const Series s{"flat", {2.0, 2.0, 2.0}};
+  EXPECT_NO_THROW((void)render_plot({s}));
+}
+
+TEST(Plot, RejectsDegenerateInput) {
+  EXPECT_THROW((void)render_plot({}, {}), std::invalid_argument);
+  const Series empty{"e", {}};
+  EXPECT_THROW((void)render_plot({empty}), std::invalid_argument);
+  const Series s{"s", {1.0}};
+  EXPECT_THROW((void)render_plot({s}, {.width = 1, .height = 1}),
+               std::invalid_argument);
+  const Series neg{"n", {-1.0}};
+  EXPECT_THROW((void)render_plot({neg}, {.width = 10, .height = 4,
+                                         .log_y = true}),
+               std::invalid_argument);
+}
+
+TEST(Plot, HeightControlsLineCount) {
+  const Series s{"s", {1.0, 2.0}};
+  const std::string out = render_plot({s}, {.width = 10, .height = 6});
+  int lines = 0;
+  for (char c : out) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 6 + 2);  // grid + axis + legend
+}
+
+}  // namespace
+}  // namespace nashlb::util

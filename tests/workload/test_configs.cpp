@@ -1,0 +1,99 @@
+#include "workload/configs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+namespace nashlb::workload {
+namespace {
+
+TEST(Table1, ClassesMatchThePaper) {
+  const std::vector<SpeedClass> classes = table1_classes();
+  ASSERT_EQ(classes.size(), 4u);
+  EXPECT_DOUBLE_EQ(classes[0].relative_rate, 1.0);
+  EXPECT_DOUBLE_EQ(classes[3].relative_rate, 10.0);
+  EXPECT_EQ(classes[0].count, 6u);
+  EXPECT_EQ(classes[1].count, 5u);
+  EXPECT_EQ(classes[2].count, 3u);
+  EXPECT_EQ(classes[3].count, 2u);
+  EXPECT_DOUBLE_EQ(classes[0].rate, 10.0);
+  EXPECT_DOUBLE_EQ(classes[3].rate, 100.0);
+  // Relative rate really is rate / slowest rate.
+  for (const SpeedClass& c : classes) {
+    EXPECT_DOUBLE_EQ(c.rate, c.relative_rate * classes[0].rate);
+  }
+}
+
+TEST(Table1, SixteenComputersTotalCapacity) {
+  const std::vector<double> mu = table1_rates();
+  EXPECT_EQ(mu.size(), 16u);
+  EXPECT_DOUBLE_EQ(std::accumulate(mu.begin(), mu.end(), 0.0),
+                   6 * 10.0 + 5 * 20.0 + 3 * 50.0 + 2 * 100.0);  // 510
+}
+
+TEST(UserFractions, DefaultTenUsersSumToOne) {
+  const std::vector<double> q = default_user_fractions();
+  ASSERT_EQ(q.size(), 10u);
+  EXPECT_NEAR(std::accumulate(q.begin(), q.end(), 0.0), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(q[0], 0.3);  // the heavy user
+  EXPECT_DOUBLE_EQ(q[9], 0.04);
+}
+
+TEST(UserFractions, ArbitraryCountsNormalized) {
+  for (std::size_t m : {1u, 4u, 10u, 17u, 32u}) {
+    const std::vector<double> q = user_fractions(m);
+    ASSERT_EQ(q.size(), m);
+    EXPECT_NEAR(std::accumulate(q.begin(), q.end(), 0.0), 1.0, 1e-12);
+    for (double x : q) EXPECT_GT(x, 0.0);
+  }
+  EXPECT_THROW(user_fractions(0), std::invalid_argument);
+}
+
+TEST(UserFractions, TenMatchesDefault) {
+  const std::vector<double> q = user_fractions(10);
+  const std::vector<double> d = default_user_fractions();
+  for (std::size_t j = 0; j < 10; ++j) EXPECT_DOUBLE_EQ(q[j], d[j]);
+}
+
+TEST(MakeInstance, UtilizationRealized) {
+  const core::Instance inst = table1_instance(0.6);
+  EXPECT_NEAR(inst.system_utilization(), 0.6, 1e-12);
+  EXPECT_EQ(inst.num_computers(), 16u);
+  EXPECT_EQ(inst.num_users(), 10u);
+  EXPECT_NEAR(inst.phi[0], 0.3 * 0.6 * 510.0, 1e-9);
+}
+
+TEST(MakeInstance, RejectsBadUtilization) {
+  EXPECT_THROW((void)table1_instance(0.0), std::invalid_argument);
+  EXPECT_THROW((void)table1_instance(1.0), std::invalid_argument);
+  EXPECT_THROW((void)table1_instance(-0.5), std::invalid_argument);
+}
+
+TEST(MakeInstance, RejectsUnnormalizedFractions) {
+  EXPECT_THROW((void)make_instance({10.0, 20.0}, {0.5, 0.6}, 0.5),
+               std::invalid_argument);
+}
+
+TEST(SkewnessInstance, MatchesFigure6Description) {
+  const core::Instance inst = skewness_instance(12.0, 0.6);
+  ASSERT_EQ(inst.num_computers(), 16u);
+  EXPECT_DOUBLE_EQ(inst.mu[0], 120.0);
+  EXPECT_DOUBLE_EQ(inst.mu[1], 120.0);
+  for (std::size_t i = 2; i < 16; ++i) {
+    EXPECT_DOUBLE_EQ(inst.mu[i], 10.0);
+  }
+  EXPECT_NEAR(inst.system_utilization(), 0.6, 1e-12);
+}
+
+TEST(SkewnessInstance, SkewOneIsHomogeneous) {
+  const core::Instance inst = skewness_instance(1.0, 0.6);
+  for (double mu : inst.mu) EXPECT_DOUBLE_EQ(mu, 10.0);
+}
+
+TEST(SkewnessInstance, RejectsSubUnitySkew) {
+  EXPECT_THROW((void)skewness_instance(0.5, 0.6), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nashlb::workload

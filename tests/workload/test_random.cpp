@@ -1,0 +1,69 @@
+#include "workload/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nashlb::workload {
+namespace {
+
+TEST(RandomInstance, ProducesValidInstances) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    RandomInstanceOptions opts;
+    opts.seed = seed;
+    const core::Instance inst = random_instance(opts);
+    EXPECT_NO_THROW(inst.validate());
+    EXPECT_EQ(inst.num_computers(), 16u);
+    EXPECT_EQ(inst.num_users(), 10u);
+    EXPECT_NEAR(inst.system_utilization(), 0.6, 1e-9);
+  }
+}
+
+TEST(RandomInstance, DeterministicInSeed) {
+  RandomInstanceOptions opts;
+  opts.seed = 42;
+  const core::Instance a = random_instance(opts);
+  const core::Instance b = random_instance(opts);
+  EXPECT_EQ(a.mu, b.mu);
+  EXPECT_EQ(a.phi, b.phi);
+  opts.seed = 43;
+  const core::Instance c = random_instance(opts);
+  EXPECT_NE(a.mu, c.mu);
+}
+
+TEST(RandomInstance, HeterogeneityBoundsRespected) {
+  RandomInstanceOptions opts;
+  opts.heterogeneity = 5.0;
+  opts.num_computers = 64;
+  opts.seed = 7;
+  const core::Instance inst = random_instance(opts);
+  const auto [lo, hi] =
+      std::minmax_element(inst.mu.begin(), inst.mu.end());
+  EXPECT_LE(*hi / *lo, 5.0 + 1e-9);
+}
+
+TEST(RandomInstance, HomogeneousWhenRatiosAreOne) {
+  RandomInstanceOptions opts;
+  opts.heterogeneity = 1.0;
+  opts.user_skew = 1.0;
+  opts.seed = 9;
+  const core::Instance inst = random_instance(opts);
+  for (double mu : inst.mu) EXPECT_DOUBLE_EQ(mu, inst.mu[0]);
+  for (double phi : inst.phi) EXPECT_NEAR(phi, inst.phi[0], 1e-12);
+}
+
+TEST(RandomInstance, RejectsBadOptions) {
+  RandomInstanceOptions opts;
+  opts.num_computers = 0;
+  EXPECT_THROW((void)random_instance(opts), std::invalid_argument);
+  opts = {};
+  opts.utilization = 1.0;
+  EXPECT_THROW((void)random_instance(opts), std::invalid_argument);
+  opts = {};
+  opts.heterogeneity = 0.5;
+  EXPECT_THROW((void)random_instance(opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nashlb::workload
