@@ -1,15 +1,57 @@
 #include "core/dynamics.hpp"
 
+#include <chrono>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 
 #include "core/best_reply.hpp"
 #include "core/cost.hpp"
+#include "core/equilibrium.hpp"
 #include "stats/rng.hpp"
 
 namespace nashlb::core {
+
+std::vector<std::string> dynamics_trace_columns() {
+  return {"iteration",    "norm",    "best_reply_gap", "max_kkt_residual",
+          "min_cut",      "max_cut", "wall_seconds"};
+}
+
 namespace {
+
+/// Appends one row of the convergence trace; the equilibrium certificates
+/// can throw on an infeasible intermediate profile (Jacobi divergence), in
+/// which case their cells record NaN rather than aborting the dynamics.
+void record_round(obs::TraceSink& sink, const Instance& inst,
+                  const StrategyProfile& s, std::size_t round, double norm,
+                  double wall_seconds) {
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  double gap = kNaN;
+  double kkt = kNaN;
+  try {
+    gap = max_best_reply_gain(inst, s);
+    kkt = 0.0;
+    for (std::size_t j = 0; j < inst.num_users(); ++j) {
+      kkt = std::max(kkt, kkt_residual(inst, s, j));
+    }
+  } catch (const std::exception&) {
+    // leave the certificates as NaN
+  }
+  std::size_t min_cut = inst.num_computers();
+  std::size_t max_cut = 0;
+  for (std::size_t j = 0; j < inst.num_users(); ++j) {
+    std::size_t cut = 0;
+    for (std::size_t i = 0; i < inst.num_computers(); ++i) {
+      if (s.at(j, i) > 0.0) ++cut;
+    }
+    min_cut = std::min(min_cut, cut);
+    max_cut = std::max(max_cut, cut);
+  }
+  sink.record({static_cast<std::int64_t>(round), norm, gap, kkt,
+               static_cast<std::int64_t>(min_cut),
+               static_cast<std::int64_t>(max_cut), wall_seconds});
+}
 
 /// True if every computer still has spare capacity for `user` to target.
 bool replies_computable(const Instance& inst, const StrategyProfile& s,
@@ -27,6 +69,12 @@ DynamicsResult run(const Instance& inst, StrategyProfile profile,
                    const RoundObserver& observer) {
   const std::size_t m = inst.num_users();
   DynamicsResult result{std::move(profile), false, false, 0, {}, {}};
+  const auto wall_start = std::chrono::steady_clock::now();
+  const auto wall_seconds = [&wall_start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         wall_start)
+        .count();
+  };
   stats::Xoshiro256 order_rng(options.order_seed);
   std::vector<std::size_t> order(m);
   std::iota(order.begin(), order.end(), std::size_t{0});
@@ -71,12 +119,20 @@ DynamicsResult run(const Instance& inst, StrategyProfile profile,
         result.norm_history.push_back(norm);
         result.diverged = true;
         result.user_times = std::move(last_times);
+        if (obs::kEnabled && options.trace) {
+          record_round(*options.trace, inst, result.profile, round, norm,
+                       wall_seconds());
+        }
         return result;
       }
     }
 
     result.iterations = round;
     result.norm_history.push_back(norm);
+    if (obs::kEnabled && options.trace) {
+      record_round(*options.trace, inst, result.profile, round, norm,
+                   wall_seconds());
+    }
     if (observer) observer(round, result.profile, norm);
     if (norm <= options.tolerance) {
       result.converged = true;

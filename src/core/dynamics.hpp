@@ -22,9 +22,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "core/types.hpp"
+#include "obs/trace.hpp"
 
 namespace nashlb::core {
 
@@ -52,6 +54,11 @@ struct DynamicsOptions {
   std::size_t max_iterations = 1000;
   /// Seed for the RandomOrder permutations (ignored otherwise).
   std::uint64_t order_seed = 0x0badcafeULL;
+  /// Optional per-round trace (not owned, may be null): one row per round
+  /// under the `dynamics_trace_columns()` schema. Tracing computes the
+  /// equilibrium certificates each round — O(m n log n) extra work — so
+  /// leave it null on hot paths. See docs/OBSERVABILITY.md.
+  obs::TraceSink* trace = nullptr;
 };
 
 /// Outcome of a run of the dynamics.
@@ -66,6 +73,15 @@ struct DynamicsResult {
   /// Per-user expected response times at the final profile.
   std::vector<double> user_times;
 };
+
+/// Schema of the per-round convergence trace, in column order:
+/// iteration (1-based round), norm (sum_j |D_j^(l) - D_j^(l-1)|, seconds),
+/// best_reply_gap (max unilateral improvement, seconds), max_kkt_residual
+/// (worst user's normalized first-order residual), min_cut / max_cut
+/// (smallest and largest per-user cut index c_j — how many computers a
+/// user's OPTIMAL reply spreads over), wall_seconds (cumulative wall time
+/// since the dynamics started).
+[[nodiscard]] std::vector<std::string> dynamics_trace_columns();
 
 /// Observer invoked after each round with (round index starting at 1,
 /// current profile, round norm). Used by the Figure 2 bench to record the

@@ -151,4 +151,14 @@ double Facility::mean_queue_length(SimTime now) const noexcept {
   return queue_tw_.average(now);
 }
 
+void Facility::publish_metrics(obs::Registry& reg, SimTime now) const {
+  reg.counter(name_ + ".requests").add(next_id_);
+  reg.counter(name_ + ".completed").add(completed_);
+  reg.counter(name_ + ".preemptions").add(preemptions_);
+  reg.timer(name_ + ".busy_time").add_batch(busy_tw_.average(now) * now,
+                                            completed_);
+  reg.timer(name_ + ".waiting")
+      .add_batch(wait_stats_.sum(), wait_stats_.count());
+}
+
 }  // namespace nashlb::des

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "des/simulator.hpp"
+#include "obs/metrics.hpp"
 #include "stats/moments.hpp"
 
 namespace nashlb::des {
@@ -83,6 +84,14 @@ class Facility {
   [[nodiscard]] const stats::RunningStats& waiting_times() const noexcept {
     return wait_stats_;
   }
+
+  /// Publishes this facility's counters and accumulated times into `reg`
+  /// under `<name>.*`: requests, completed, preemptions (counters);
+  /// busy_time (timer: busy server-seconds over [0, now], one observation
+  /// per completed job) and waiting (timer: total queueing delay over all
+  /// jobs that ever started service). A no-op when the obs layer is
+  /// compiled out.
+  void publish_metrics(obs::Registry& reg, SimTime now) const;
 
  private:
   struct Job {

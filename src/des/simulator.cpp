@@ -9,6 +9,7 @@ EventHandle Simulator::schedule(SimTime delay, EventFn fn) {
     throw std::invalid_argument(
         "Simulator::schedule: delay must be finite and >= 0");
   }
+  ++events_scheduled_;
   return queue_.push(now_ + delay, std::move(fn));
 }
 
@@ -17,6 +18,7 @@ EventHandle Simulator::schedule_at(SimTime t, EventFn fn) {
     throw std::invalid_argument(
         "Simulator::schedule_at: time must be finite and >= now()");
   }
+  ++events_scheduled_;
   return queue_.push(t, std::move(fn));
 }
 
@@ -73,6 +75,13 @@ void Simulator::dispatch(const std::shared_ptr<EventRecord>& rec) {
   now_ = rec->time;
   ++events_executed_;
   if (rec->fn) rec->fn(now_);
+}
+
+void Simulator::publish_metrics(obs::Registry& reg,
+                                const std::string& prefix) const {
+  reg.counter(prefix + ".events_scheduled").add(events_scheduled_);
+  reg.counter(prefix + ".events_executed").add(events_executed_);
+  reg.counter(prefix + ".pending_events").add(queue_.size());
 }
 
 }  // namespace nashlb::des

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "des/event_queue.hpp"
+#include "obs/metrics.hpp"
 
 namespace nashlb::des {
 
@@ -63,6 +64,17 @@ class Simulator {
     return events_executed_;
   }
 
+  /// Total events ever scheduled (including cancelled ones).
+  [[nodiscard]] std::uint64_t events_scheduled() const noexcept {
+    return events_scheduled_;
+  }
+
+  /// Publishes the kernel's counters into `reg` under `<prefix>.*`:
+  /// events_scheduled, events_executed, pending_events. A no-op when the
+  /// obs layer is compiled out.
+  void publish_metrics(obs::Registry& reg,
+                       const std::string& prefix = "des") const;
+
   /// Number of live pending events.
   [[nodiscard]] std::size_t pending_events() const noexcept {
     return queue_.size();
@@ -78,6 +90,7 @@ class Simulator {
   EventQueue queue_;
   SimTime now_ = 0.0;
   std::uint64_t events_executed_ = 0;
+  std::uint64_t events_scheduled_ = 0;
   bool stop_requested_ = false;
 };
 

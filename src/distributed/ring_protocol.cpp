@@ -1,5 +1,6 @@
 #include "distributed/ring_protocol.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <memory>
 #include <stdexcept>
@@ -10,6 +11,11 @@
 #include "distributed/monitor.hpp"
 
 namespace nashlb::distributed {
+
+std::vector<std::string> ring_trace_columns() {
+  return {"round", "norm", "messages", "sim_time", "wall_seconds"};
+}
+
 namespace {
 
 /// All mutable protocol state, shared by the event closures.
@@ -22,6 +28,8 @@ struct ProtocolState {
   std::vector<double> last_times;  // D_j at each user's previous update
   std::size_t round = 1;
   double norm = 0.0;
+  std::chrono::steady_clock::time_point wall_start =
+      std::chrono::steady_clock::now();
   RingResult result;
 
   ProtocolState(const core::Instance& instance, const RingOptions& options,
@@ -67,6 +75,14 @@ void update_user(const std::shared_ptr<ProtocolState>& st, std::size_t user) {
 void close_round(const std::shared_ptr<ProtocolState>& st) {
   st->result.norm_history.push_back(st->norm);
   st->result.rounds = st->round;
+  if (obs::kEnabled && st->opts.trace) {
+    st->opts.trace->record(
+        {static_cast<std::int64_t>(st->round), st->norm,
+         static_cast<std::int64_t>(st->result.messages), st->sim.now(),
+         std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       st->wall_start)
+             .count()});
+  }
   if (st->norm <= st->opts.tolerance) {
     st->result.converged = true;
     send_stop(st, 1 % st->inst.num_users());

@@ -21,10 +21,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/dynamics.hpp"
 #include "core/types.hpp"
+#include "obs/trace.hpp"
 
 namespace nashlb::distributed {
 
@@ -43,7 +45,16 @@ struct RingOptions {
   double noise_sigma = 0.0;
   /// RNG seed for the estimation noise.
   std::uint64_t seed = 0x5eedULL;
+  /// Optional per-round trace (not owned, may be null): one row per round
+  /// close under the `ring_trace_columns()` schema.
+  obs::TraceSink* trace = nullptr;
 };
+
+/// Schema of the ring protocol's per-round trace, in column order:
+/// round (1-based), norm (seconds), messages (cumulative ring messages),
+/// sim_time (simulated seconds when user 1 closed the round),
+/// wall_seconds (cumulative host wall time).
+[[nodiscard]] std::vector<std::string> ring_trace_columns();
 
 /// Protocol outcome.
 struct RingResult {

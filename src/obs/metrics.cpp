@@ -1,0 +1,43 @@
+#include "obs/metrics.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+#include "util/csv.hpp"
+
+namespace nashlb::obs::detail {
+
+std::vector<MetricSnapshot> EnabledRegistry::snapshot() const {
+  std::vector<MetricSnapshot> out;
+  out.reserve(size());
+  for (const auto& [name, counter] : counters_) {
+    out.push_back({name, "counter", counter.value(), 0.0});
+  }
+  for (const auto& [name, timer] : timers_) {
+    out.push_back({name, "timer", timer.count(), timer.total_seconds()});
+  }
+  return out;
+}
+
+void EnabledRegistry::write_csv(const std::string& path) const {
+  util::CsvWriter writer(path, {"metric", "kind", "count", "total_seconds"});
+  for (const MetricSnapshot& m : snapshot()) {
+    writer.add_row({m.name, m.kind, std::to_string(m.count),
+                    json_number(m.total_seconds)});
+  }
+}
+
+void EnabledRegistry::write_jsonl(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("Registry: cannot open '" + path + "'");
+  }
+  for (const MetricSnapshot& m : snapshot()) {
+    out << "{\"metric\":" << json_quote(m.name)
+        << ",\"kind\":" << json_quote(m.kind) << ",\"count\":" << m.count
+        << ",\"total_seconds\":" << json_number(m.total_seconds) << "}\n";
+  }
+}
+
+}  // namespace nashlb::obs::detail

@@ -1,0 +1,206 @@
+// Lightweight runtime metrics: counters, wall-clock timers, and a named
+// registry, with a compile-time off switch.
+//
+// The observability layer exists so the solvers (core, distributed) and
+// the simulation substrate (des, simmodel) can expose what they are doing
+// — iteration counts, event throughput, busy time — without ad-hoc printf
+// instrumentation in every bench. Design constraints:
+//
+//   * near-zero cost when enabled: a counter increment is one add, a
+//     timer stop is one steady_clock read plus an add;
+//   * exactly zero cost when disabled: building with
+//     -DNASHLB_OBS_ENABLED=0 swaps every type for an empty no-op twin
+//     (`detail::Null*`), and `obs::kEnabled` is a constexpr false that
+//     lets call sites guard expensive derived statistics with an
+//     `if (obs::kEnabled && ...)` the compiler deletes outright;
+//   * both twins are always *compiled* (they live in this header), so the
+//     unit tests can assert the no-op contract regardless of how the
+//     library itself was built.
+//
+// See docs/OBSERVABILITY.md for the exported schemas and a worked example.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#ifndef NASHLB_OBS_ENABLED
+#define NASHLB_OBS_ENABLED 1
+#endif
+
+namespace nashlb::obs {
+
+/// Compile-time master switch; `if (obs::kEnabled && ...)` blocks are
+/// dead-code-eliminated when the layer is disabled.
+inline constexpr bool kEnabled = NASHLB_OBS_ENABLED != 0;
+
+namespace detail {
+
+/// Monotonic event counter.
+class EnabledCounter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Accumulates wall-clock durations (seconds) plus an observation count.
+class EnabledTimer {
+ public:
+  void add_seconds(double s) noexcept {
+    total_seconds_ += s;
+    ++count_;
+  }
+  /// Folds a pre-aggregated batch: `total` seconds over `n` observations.
+  void add_batch(double total, std::uint64_t n) noexcept {
+    total_seconds_ += total;
+    count_ += n;
+  }
+  [[nodiscard]] double total_seconds() const noexcept { return total_seconds_; }
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  /// Mean seconds per observation (0 if none recorded).
+  [[nodiscard]] double mean_seconds() const noexcept {
+    return count_ == 0 ? 0.0
+                       : total_seconds_ / static_cast<double>(count_);
+  }
+  void reset() noexcept {
+    total_seconds_ = 0.0;
+    count_ = 0;
+  }
+
+ private:
+  double total_seconds_ = 0.0;
+  std::uint64_t count_ = 0;
+};
+
+/// RAII scope timer: accumulates the scope's wall time into a Timer.
+class EnabledScopedTimer {
+ public:
+  explicit EnabledScopedTimer(EnabledTimer& timer) noexcept
+      : timer_(&timer), start_(std::chrono::steady_clock::now()) {}
+  EnabledScopedTimer(const EnabledScopedTimer&) = delete;
+  EnabledScopedTimer& operator=(const EnabledScopedTimer&) = delete;
+  ~EnabledScopedTimer() { timer_->add_seconds(elapsed_seconds()); }
+
+  /// Seconds elapsed since construction (the timer is charged at scope
+  /// exit; this reads the clock without stopping).
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  EnabledTimer* timer_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// No-op twins: identical interfaces, empty bodies, empty layout. The
+/// aliases below select these when NASHLB_OBS_ENABLED is 0.
+class NullCounter {
+ public:
+  void add(std::uint64_t = 1) noexcept {}
+  [[nodiscard]] constexpr std::uint64_t value() const noexcept { return 0; }
+  void reset() noexcept {}
+};
+
+class NullTimer {
+ public:
+  void add_seconds(double) noexcept {}
+  void add_batch(double, std::uint64_t) noexcept {}
+  [[nodiscard]] constexpr double total_seconds() const noexcept { return 0.0; }
+  [[nodiscard]] constexpr std::uint64_t count() const noexcept { return 0; }
+  [[nodiscard]] constexpr double mean_seconds() const noexcept { return 0.0; }
+  void reset() noexcept {}
+};
+
+class NullScopedTimer {
+ public:
+  explicit NullScopedTimer(NullTimer&) noexcept {}
+  NullScopedTimer(const NullScopedTimer&) = delete;
+  NullScopedTimer& operator=(const NullScopedTimer&) = delete;
+  [[nodiscard]] constexpr double elapsed_seconds() const noexcept {
+    return 0.0;
+  }
+};
+
+}  // namespace detail
+
+/// Point-in-time view of one named metric (see Registry::snapshot).
+struct MetricSnapshot {
+  std::string name;
+  std::string kind;       ///< "counter" or "timer"
+  std::uint64_t count;    ///< counter value, or timer observation count
+  double total_seconds;   ///< 0 for counters
+};
+
+namespace detail {
+
+/// Named metric store. References returned by counter()/timer() stay
+/// valid for the registry's lifetime (node-based map). Not thread-safe;
+/// give each thread its own registry and merge, or publish after joining.
+class EnabledRegistry {
+ public:
+  /// Returns (creating on first use) the counter named `name`.
+  EnabledCounter& counter(const std::string& name) { return counters_[name]; }
+  /// Returns (creating on first use) the timer named `name`.
+  EnabledTimer& timer(const std::string& name) { return timers_[name]; }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return counters_.size() + timers_.size();
+  }
+
+  /// All metrics, counters first then timers, each group name-sorted.
+  [[nodiscard]] std::vector<MetricSnapshot> snapshot() const;
+
+  /// Writes the snapshot as CSV: metric,kind,count,total_seconds.
+  void write_csv(const std::string& path) const;
+  /// Writes the snapshot as JSON-lines, one metric object per line.
+  void write_jsonl(const std::string& path) const;
+
+  void clear() noexcept {
+    counters_.clear();
+    timers_.clear();
+  }
+
+ private:
+  std::map<std::string, EnabledCounter> counters_;
+  std::map<std::string, EnabledTimer> timers_;
+};
+
+class NullRegistry {
+ public:
+  NullCounter& counter(const std::string&) noexcept { return counter_; }
+  NullTimer& timer(const std::string&) noexcept { return timer_; }
+  [[nodiscard]] constexpr std::size_t size() const noexcept { return 0; }
+  [[nodiscard]] std::vector<MetricSnapshot> snapshot() const { return {}; }
+  void write_csv(const std::string&) const noexcept {}
+  void write_jsonl(const std::string&) const noexcept {}
+  void clear() noexcept {}
+
+ private:
+  NullCounter counter_;
+  NullTimer timer_;
+};
+
+}  // namespace detail
+
+#if NASHLB_OBS_ENABLED
+using Counter = detail::EnabledCounter;
+using Timer = detail::EnabledTimer;
+using ScopedTimer = detail::EnabledScopedTimer;
+using Registry = detail::EnabledRegistry;
+#else
+using Counter = detail::NullCounter;
+using Timer = detail::NullTimer;
+using ScopedTimer = detail::NullScopedTimer;
+using Registry = detail::NullRegistry;
+#endif
+
+}  // namespace nashlb::obs

@@ -1,0 +1,118 @@
+#include "obs/trace.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <set>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+#include "util/csv.hpp"
+
+namespace nashlb::obs {
+namespace {
+
+std::string double_repr(double v) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  return json_number(v);  // shortest round-trippable decimal
+}
+
+}  // namespace
+
+std::string cell_to_string(const Cell& cell) {
+  switch (cell.index()) {
+    case 0: return std::to_string(std::get<std::int64_t>(cell));
+    case 1: return double_repr(std::get<double>(cell));
+    default: return std::get<std::string>(cell);
+  }
+}
+
+std::string cell_to_json(const Cell& cell) {
+  switch (cell.index()) {
+    case 0: return json_number(std::get<std::int64_t>(cell));
+    case 1: return json_number(std::get<double>(cell));
+    default: return json_quote(std::get<std::string>(cell));
+  }
+}
+
+namespace detail {
+
+EnabledTraceSink::EnabledTraceSink(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  if (columns_.empty()) {
+    throw std::invalid_argument("TraceSink: need at least one column");
+  }
+  const std::set<std::string> unique(columns_.begin(), columns_.end());
+  if (unique.size() != columns_.size()) {
+    throw std::invalid_argument("TraceSink: duplicate column name");
+  }
+}
+
+void EnabledTraceSink::record(std::vector<Cell> row) {
+  if (row.size() != columns_.size()) {
+    throw std::invalid_argument(
+        "TraceSink::record: row has " + std::to_string(row.size()) +
+        " cells, schema has " + std::to_string(columns_.size()));
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::vector<double> EnabledTraceSink::column_as_doubles(
+    const std::string& col) const {
+  std::size_t idx = columns_.size();
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (columns_[c] == col) {
+      idx = c;
+      break;
+    }
+  }
+  if (idx == columns_.size()) {
+    throw std::out_of_range("TraceSink: no column named '" + col + "'");
+  }
+  std::vector<double> out;
+  out.reserve(rows_.size());
+  for (const std::vector<Cell>& row : rows_) {
+    const Cell& cell = row[idx];
+    switch (cell.index()) {
+      case 0:
+        out.push_back(static_cast<double>(std::get<std::int64_t>(cell)));
+        break;
+      case 1:
+        out.push_back(std::get<double>(cell));
+        break;
+      default:
+        out.push_back(std::numeric_limits<double>::quiet_NaN());
+    }
+  }
+  return out;
+}
+
+void EnabledTraceSink::write_csv(const std::string& path) const {
+  util::CsvWriter writer(path, columns_);
+  std::vector<std::string> cells(columns_.size());
+  for (const std::vector<Cell>& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      cells[c] = cell_to_string(row[c]);
+    }
+    writer.add_row(cells);
+  }
+}
+
+void EnabledTraceSink::write_jsonl(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("TraceSink: cannot open '" + path + "'");
+  }
+  for (const std::vector<Cell>& row : rows_) {
+    out << '{';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out << ',';
+      out << json_quote(columns_[c]) << ':' << cell_to_json(row[c]);
+    }
+    out << "}\n";
+  }
+}
+
+}  // namespace detail
+}  // namespace nashlb::obs

@@ -2,10 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
 #include <thread>
 
 namespace nashlb::simmodel {
+
+std::vector<std::string> replication_trace_columns() {
+  return {"replication",    "wall_seconds",   "sim_seconds",
+          "jobs_generated", "jobs_completed", "overall_response"};
+}
 
 ReplicatedResult replicate(const core::Instance& inst,
                            const core::StrategyProfile& profile,
@@ -16,6 +22,7 @@ ReplicatedResult replicate(const core::Instance& inst,
   }
   const std::size_t r_total = config.replications;
   std::vector<SimRunResult> runs(r_total);
+  std::vector<double> wall_seconds(r_total, 0.0);
 
   std::size_t workers = config.threads;
   if (workers == 0) {
@@ -32,7 +39,11 @@ ReplicatedResult replicate(const core::Instance& inst,
       if (r >= r_total) return;
       SimConfig cfg = config.base;
       cfg.replication = r;
+      const auto start = std::chrono::steady_clock::now();
       runs[r] = simulate(inst, profile, cfg);
+      wall_seconds[r] = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
     }
   };
   if (workers == 1) {
@@ -72,6 +83,17 @@ ReplicatedResult replicate(const core::Instance& inst,
           run.computer_utilization[i] / static_cast<double>(r_total);
     }
   }
+  if (obs::kEnabled && config.trace) {
+    for (std::size_t r = 0; r < r_total; ++r) {
+      const SimRunResult& run = runs[r];
+      config.trace->record({static_cast<std::int64_t>(r), wall_seconds[r],
+                            run.end_time,
+                            static_cast<std::int64_t>(run.jobs_generated),
+                            static_cast<std::int64_t>(run.jobs_completed),
+                            run.overall_mean_response});
+    }
+  }
+  out.wall_seconds = std::move(wall_seconds);
   out.runs = std::move(runs);
   return out;
 }

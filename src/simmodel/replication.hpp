@@ -9,9 +9,11 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "core/types.hpp"
+#include "obs/trace.hpp"
 #include "simmodel/system_sim.hpp"
 #include "stats/confidence.hpp"
 
@@ -24,7 +26,18 @@ struct ReplicationConfig {
   double confidence = 0.95;
   /// Worker threads; 0 = hardware concurrency, 1 = sequential.
   std::size_t threads = 0;
+  /// Optional per-replication trace (not owned, may be null): one row per
+  /// replication under the `replication_trace_columns()` schema. Rows are
+  /// appended after the workers join, in replication order, so the sink
+  /// needs no synchronization.
+  obs::TraceSink* trace = nullptr;
 };
+
+/// Schema of the per-replication trace, in column order: replication
+/// (0-based index), wall_seconds (host time for the run), sim_seconds
+/// (simulated time the run drained at), jobs_generated, jobs_completed,
+/// overall_response (job-weighted mean response time, seconds).
+[[nodiscard]] std::vector<std::string> replication_trace_columns();
 
 /// Reduced results across replications.
 struct ReplicatedResult {
@@ -36,6 +49,9 @@ struct ReplicatedResult {
   std::vector<double> computer_utilization;
   /// Total jobs generated across all replications.
   std::uint64_t total_jobs = 0;
+  /// Host wall-clock seconds each replication took (by replication index;
+  /// replications run concurrently, so these do not sum to elapsed time).
+  std::vector<double> wall_seconds;
   /// The raw per-replication results (ordered by replication index).
   std::vector<SimRunResult> runs;
 };

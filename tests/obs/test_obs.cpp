@@ -1,0 +1,368 @@
+// Tests of the observability layer (obs/metrics.hpp, obs/trace.hpp):
+// counter/timer semantics, registry export round-trips through the CSV
+// and JSON-lines writers, the no-op contract of the disabled twins, and
+// the instrumentation points in core/distributed/simmodel.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <type_traits>
+
+#include "core/dynamics.hpp"
+#include "des/facility.hpp"
+#include "des/simulator.hpp"
+#include "distributed/ring_protocol.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "simmodel/replication.hpp"
+
+namespace {
+
+using namespace nashlb;
+
+/// Unique temp file path per test; removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_((std::filesystem::temp_directory_path() /
+               ("nashlb_obs_test_" + name))
+                  .string()) {}
+  ~TempFile() {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::string contents() const {
+    std::ifstream in(path_);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+ private:
+  std::string path_;
+};
+
+core::Instance small_instance() {
+  core::Instance inst;
+  inst.mu = {100.0, 50.0, 10.0};
+  inst.phi = {40.0, 20.0};
+  return inst;
+}
+
+// --- counters / timers --------------------------------------------------
+
+TEST(ObsMetrics, CounterAccumulates) {
+  obs::detail::EnabledCounter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsMetrics, TimerAccumulatesAndAverages) {
+  obs::detail::EnabledTimer t;
+  t.add_seconds(0.5);
+  t.add_seconds(1.5);
+  EXPECT_EQ(t.count(), 2u);
+  EXPECT_DOUBLE_EQ(t.total_seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(t.mean_seconds(), 1.0);
+  t.add_batch(3.0, 3);
+  EXPECT_EQ(t.count(), 5u);
+  EXPECT_DOUBLE_EQ(t.total_seconds(), 5.0);
+}
+
+TEST(ObsMetrics, ScopedTimerChargesOnExit) {
+  obs::detail::EnabledTimer t;
+  {
+    obs::detail::EnabledScopedTimer scope(t);
+    EXPECT_EQ(t.count(), 0u);  // charged at scope exit, not construction
+    EXPECT_GE(scope.elapsed_seconds(), 0.0);
+  }
+  EXPECT_EQ(t.count(), 1u);
+  EXPECT_GE(t.total_seconds(), 0.0);
+}
+
+TEST(ObsMetrics, RegistryReferencesAreStable) {
+  obs::detail::EnabledRegistry reg;
+  obs::detail::EnabledCounter& a = reg.counter("a");
+  // Creating many more metrics must not invalidate `a`.
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("c" + std::to_string(i)).add();
+    reg.timer("t" + std::to_string(i)).add_seconds(0.1);
+  }
+  a.add(7);
+  EXPECT_EQ(reg.counter("a").value(), 7u);
+  EXPECT_EQ(reg.size(), 201u);
+}
+
+TEST(ObsMetrics, RegistryCsvRoundTrip) {
+  obs::detail::EnabledRegistry reg;
+  reg.counter("solver.rounds").add(17);
+  reg.timer("solver.wall").add_batch(2.5, 5);
+  TempFile f("registry.csv");
+  reg.write_csv(f.path());
+  const std::string csv = f.contents();
+  EXPECT_NE(csv.find("metric,kind,count,total_seconds"), std::string::npos);
+  EXPECT_NE(csv.find("solver.rounds,counter,17,0"), std::string::npos);
+  EXPECT_NE(csv.find("solver.wall,timer,5,2.5"), std::string::npos);
+}
+
+TEST(ObsMetrics, RegistryJsonlRoundTrip) {
+  obs::detail::EnabledRegistry reg;
+  reg.counter("events").add(3);
+  TempFile f("registry.jsonl");
+  reg.write_jsonl(f.path());
+  EXPECT_EQ(f.contents(),
+            "{\"metric\":\"events\",\"kind\":\"counter\",\"count\":3,"
+            "\"total_seconds\":0}\n");
+}
+
+// --- trace sink ---------------------------------------------------------
+
+TEST(ObsTrace, SchemaIsValidated) {
+  EXPECT_THROW(obs::detail::EnabledTraceSink({}), std::invalid_argument);
+  EXPECT_THROW(obs::detail::EnabledTraceSink({"a", "a"}),
+               std::invalid_argument);
+  obs::detail::EnabledTraceSink sink({"a", "b"});
+  EXPECT_THROW(sink.record({std::int64_t{1}}), std::invalid_argument);
+  EXPECT_EQ(sink.size(), 0u);
+}
+
+TEST(ObsTrace, RecordsTypedRows) {
+  obs::detail::EnabledTraceSink sink({"iter", "norm", "tag"});
+  sink.record({std::int64_t{1}, 0.5, std::string("warm")});
+  sink.record({std::int64_t{2}, 0.25, std::string("steady")});
+  ASSERT_EQ(sink.size(), 2u);
+  const std::vector<double> norms = sink.column_as_doubles("norm");
+  ASSERT_EQ(norms.size(), 2u);
+  EXPECT_DOUBLE_EQ(norms[0], 0.5);
+  EXPECT_DOUBLE_EQ(norms[1], 0.25);
+  // Integer columns convert; string columns come back NaN.
+  EXPECT_DOUBLE_EQ(sink.column_as_doubles("iter")[1], 2.0);
+  EXPECT_TRUE(std::isnan(sink.column_as_doubles("tag")[0]));
+  EXPECT_THROW((void)sink.column_as_doubles("nope"), std::out_of_range);
+}
+
+TEST(ObsTrace, CsvRoundTripWithQuoting) {
+  obs::detail::EnabledTraceSink sink({"scheme", "value"});
+  sink.record({std::string("NASH, eps=1e-4"), 0.0625});
+  TempFile f("trace.csv");
+  sink.write_csv(f.path());
+  EXPECT_EQ(f.contents(),
+            "scheme,value\n\"NASH, eps=1e-4\",0.0625\n");
+}
+
+TEST(ObsTrace, JsonlRoundTrip) {
+  obs::detail::EnabledTraceSink sink({"iter", "norm", "note"});
+  sink.record({std::int64_t{3}, 0.125, std::string("a\"b")});
+  TempFile f("trace.jsonl");
+  sink.write_jsonl(f.path());
+  EXPECT_EQ(f.contents(),
+            "{\"iter\":3,\"norm\":0.125,\"note\":\"a\\\"b\"}\n");
+}
+
+TEST(ObsTrace, DoublesSurviveRoundTrip) {
+  // The CSV/JSON number formatting must be round-trippable, not pretty.
+  const double v = 0.1 + 0.2;  // 0.30000000000000004
+  obs::detail::EnabledTraceSink sink({"v"});
+  sink.record({v});
+  TempFile f("roundtrip.csv");
+  sink.write_csv(f.path());
+  std::ifstream in(f.path());
+  std::string header, cell;
+  std::getline(in, header);
+  std::getline(in, cell);
+  EXPECT_EQ(std::stod(cell), v);
+}
+
+TEST(ObsJson, EscapesControlCharacters) {
+  EXPECT_EQ(obs::json_quote("a\nb\t\"\\"), "\"a\\nb\\t\\\"\\\\\"");
+  EXPECT_EQ(obs::json_quote(std::string(1, '\x01')), "\"\\u0001\"");
+  EXPECT_EQ(obs::json_number(std::numeric_limits<double>::infinity()),
+            "null");
+}
+
+// --- the no-op twins (the disabled build's types) -----------------------
+
+TEST(ObsDisabled, NullTypesAreEmptyNoOps) {
+  // The disabled build swaps these in for the real types; they must have
+  // empty layout and discard everything.
+  static_assert(std::is_empty_v<obs::detail::NullCounter>);
+  static_assert(std::is_empty_v<obs::detail::NullTimer>);
+  obs::detail::NullCounter c;
+  c.add(1000);
+  EXPECT_EQ(c.value(), 0u);
+  obs::detail::NullTimer t;
+  t.add_seconds(5.0);
+  t.add_batch(5.0, 5);
+  EXPECT_EQ(t.count(), 0u);
+  EXPECT_EQ(t.total_seconds(), 0.0);
+  {
+    obs::detail::NullScopedTimer scope(t);
+    EXPECT_EQ(scope.elapsed_seconds(), 0.0);
+  }
+  EXPECT_EQ(t.count(), 0u);
+}
+
+TEST(ObsDisabled, NullRegistryAndSinkDiscardEverything) {
+  obs::detail::NullRegistry reg;
+  reg.counter("x").add(5);
+  reg.timer("y").add_seconds(1.0);
+  EXPECT_EQ(reg.size(), 0u);
+  EXPECT_TRUE(reg.snapshot().empty());
+
+  obs::detail::NullTraceSink sink({"a", "b"});
+  sink.record({std::int64_t{1}, 2.0});
+  EXPECT_TRUE(sink.empty());
+  EXPECT_TRUE(sink.rows().empty());
+  EXPECT_TRUE(sink.column_as_doubles("a").empty());
+  // write_* must not create files.
+  TempFile f("null_sink.csv");
+  sink.write_csv(f.path());
+  reg.write_csv(f.path());
+  EXPECT_FALSE(std::filesystem::exists(f.path()));
+}
+
+// An instrumented call site, templated on the sink type the way the
+// library's call sites are switched by NASHLB_OBS_ENABLED: with the null
+// sink the same code must compile and record nothing.
+template <typename Sink>
+std::size_t instrumented_loop(Sink& sink) {
+  std::size_t work = 0;
+  for (int i = 0; i < 4; ++i) {
+    work += static_cast<std::size_t>(i);
+    sink.record({static_cast<std::int64_t>(i), static_cast<double>(i) * 0.5});
+  }
+  return work;
+}
+
+TEST(ObsDisabled, InstrumentedCallSiteCompilesAgainstBothTwins) {
+  obs::detail::EnabledTraceSink enabled({"i", "v"});
+  obs::detail::NullTraceSink null({"i", "v"});
+  EXPECT_EQ(instrumented_loop(enabled), instrumented_loop(null));
+  EXPECT_EQ(enabled.size(), 4u);
+  EXPECT_EQ(null.size(), 0u);
+}
+
+// --- instrumentation points in the stack --------------------------------
+
+TEST(ObsWiring, DynamicsEmitsOneRowPerRound) {
+  const core::Instance inst = small_instance();
+  obs::TraceSink sink(core::dynamics_trace_columns());
+  core::DynamicsOptions opts;
+  opts.tolerance = 1e-8;
+  opts.trace = &sink;
+  const core::DynamicsResult r = core::best_reply_dynamics(inst, opts);
+  ASSERT_TRUE(r.converged);
+  if constexpr (obs::kEnabled) {
+    ASSERT_EQ(sink.size(), r.iterations);
+    // The recorded norms are exactly the result's norm history...
+    const std::vector<double> norms = sink.column_as_doubles("norm");
+    for (std::size_t l = 0; l < r.iterations; ++l) {
+      EXPECT_DOUBLE_EQ(norms[l], r.norm_history[l]);
+    }
+    // ...the certificates decay to equilibrium quality...
+    EXPECT_LE(sink.column_as_doubles("best_reply_gap").back(), 1e-6);
+    EXPECT_LE(sink.column_as_doubles("max_kkt_residual").back(), 1e-6);
+    // ...cut indices are within [1, n], and wall time is nondecreasing.
+    const std::vector<double> wall = sink.column_as_doubles("wall_seconds");
+    for (std::size_t l = 0; l < r.iterations; ++l) {
+      EXPECT_GE(sink.column_as_doubles("min_cut")[l], 1.0);
+      EXPECT_LE(sink.column_as_doubles("max_cut")[l],
+                static_cast<double>(inst.num_computers()));
+      if (l > 0) EXPECT_GE(wall[l], wall[l - 1]);
+    }
+  } else {
+    EXPECT_EQ(sink.size(), 0u);
+  }
+}
+
+TEST(ObsWiring, RingProtocolEmitsOneRowPerRound) {
+  const core::Instance inst = small_instance();
+  obs::TraceSink sink(distributed::ring_trace_columns());
+  distributed::RingOptions opts;
+  opts.trace = &sink;
+  const distributed::RingResult r = distributed::run_ring_protocol(inst, opts);
+  ASSERT_TRUE(r.converged);
+  if constexpr (obs::kEnabled) {
+    ASSERT_EQ(sink.size(), r.rounds);
+    EXPECT_DOUBLE_EQ(sink.column_as_doubles("norm").back(),
+                     r.norm_history.back());
+    // Messages accumulate monotonically; sim time advances.
+    const std::vector<double> msgs = sink.column_as_doubles("messages");
+    const std::vector<double> sim_t = sink.column_as_doubles("sim_time");
+    for (std::size_t l = 1; l < sink.size(); ++l) {
+      EXPECT_GE(msgs[l], msgs[l - 1]);
+      EXPECT_GT(sim_t[l], sim_t[l - 1]);
+    }
+  } else {
+    EXPECT_EQ(sink.size(), 0u);
+  }
+}
+
+TEST(ObsWiring, DesKernelAndFacilityPublishCounters) {
+  des::Simulator sim;
+  des::Facility server(sim, "cpu0", 1);
+  // Two back-to-back unit jobs: one served immediately, one queued.
+  sim.schedule(0.0, [&](des::SimTime) {
+    server.request(1.0, [](des::SimTime) {});
+    server.request(1.0, [](des::SimTime) {});
+  });
+  sim.run();
+  obs::Registry reg;
+  sim.publish_metrics(reg);
+  server.publish_metrics(reg, sim.now());
+  if constexpr (obs::kEnabled) {
+    EXPECT_EQ(reg.counter("des.events_executed").value(),
+              sim.events_executed());
+    EXPECT_GE(reg.counter("des.events_scheduled").value(),
+              reg.counter("des.events_executed").value());
+    EXPECT_EQ(reg.counter("cpu0.requests").value(), 2u);
+    EXPECT_EQ(reg.counter("cpu0.completed").value(), 2u);
+    // Two unit jobs back to back: 2 busy server-seconds over [0, 2].
+    EXPECT_NEAR(reg.timer("cpu0.busy_time").total_seconds(), 2.0, 1e-12);
+    // The queued job waited exactly one service time.
+    EXPECT_NEAR(reg.timer("cpu0.waiting").total_seconds(), 1.0, 1e-12);
+    EXPECT_EQ(reg.timer("cpu0.waiting").count(), 2u);
+  } else {
+    EXPECT_EQ(reg.size(), 0u);
+  }
+}
+
+TEST(ObsWiring, ReplicationEmitsOneRowPerReplication) {
+  const core::Instance inst = small_instance();
+  const core::StrategyProfile profile =
+      core::StrategyProfile::proportional(inst);
+  simmodel::ReplicationConfig cfg;
+  cfg.base.horizon = 20.0;
+  cfg.base.warmup = 2.0;
+  cfg.replications = 3;
+  obs::TraceSink sink(simmodel::replication_trace_columns());
+  cfg.trace = &sink;
+  const simmodel::ReplicatedResult rep =
+      simmodel::replicate(inst, profile, cfg);
+  ASSERT_EQ(rep.wall_seconds.size(), 3u);
+  for (double w : rep.wall_seconds) EXPECT_GT(w, 0.0);
+  if constexpr (obs::kEnabled) {
+    ASSERT_EQ(sink.size(), 3u);
+    const std::vector<double> reps = sink.column_as_doubles("replication");
+    for (std::size_t r = 0; r < 3; ++r) {
+      EXPECT_DOUBLE_EQ(reps[r], static_cast<double>(r));
+    }
+    for (double jobs : sink.column_as_doubles("jobs_generated")) {
+      EXPECT_GT(jobs, 0.0);
+    }
+  } else {
+    EXPECT_EQ(sink.size(), 0u);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,42 @@
+#!/bin/sh
+# Documentation drift check, wired as a ctest (see tests/CMakeLists.txt).
+#
+# Fails if:
+#   * a src/<module>/ directory has no `<module>` row in README.md's
+#     Architecture table;
+#   * docs/OBSERVABILITY.md is missing, or README.md does not link it.
+#
+# Usage: tools/check_docs.sh [repo-root]   (default: script's parent dir)
+set -u
+
+root=${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}
+readme="$root/README.md"
+status=0
+
+fail() {
+    echo "check_docs: FAIL: $1" >&2
+    status=1
+}
+
+[ -f "$readme" ] || { echo "check_docs: FAIL: no README.md at $root" >&2; exit 1; }
+
+# Every module directory under src/ must be documented in the README
+# architecture table (a row containing the backquoted module name).
+for dir in "$root"/src/*/; do
+    module=$(basename "$dir")
+    if ! grep -q "| \`$module\`" "$readme"; then
+        fail "src/$module/ has no \`$module\` row in README.md's Architecture table"
+    fi
+done
+
+# The observability docs must exist and be reachable from the README.
+if [ ! -f "$root/docs/OBSERVABILITY.md" ]; then
+    fail "docs/OBSERVABILITY.md is missing"
+elif ! grep -q "docs/OBSERVABILITY.md" "$readme"; then
+    fail "README.md does not link docs/OBSERVABILITY.md"
+fi
+
+if [ "$status" -eq 0 ]; then
+    echo "check_docs: OK ($(ls -d "$root"/src/*/ | wc -l | tr -d ' ') modules documented)"
+fi
+exit "$status"
