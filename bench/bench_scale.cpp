@@ -1,0 +1,324 @@
+// P2 — solver scaling: incremental core vs recompute-from-scratch.
+//
+// The paper's NASH algorithm is iterated best reply; Figure 3 shows the
+// iteration count growing with the number of users. The seed
+// implementation additionally paid O(m·n) per best-reply *call* (the
+// aggregate loads were rebuilt from the whole profile every time), so one
+// Gauss–Seidel round cost O(m²·n). The incremental core (core/load_state)
+// carries the loads across the loop and makes a round O(m·n).
+//
+// This bench sweeps (m users, n computers) up to 1024×64 and, per size:
+//   * times a block of full best-reply rounds under the old path (the
+//     still-available allocating APIs, recompute-from-scratch) and under
+//     the incremental path, and reports the per-round speedup;
+//   * checks both paths land on the same profile after the timed rounds;
+//   * runs the incremental dynamics to the paper's tolerance and — at
+//     sizes where the old path is not prohibitively slow — the old path
+//     too, verifying both converge to the same equilibrium within 1e-10.
+//
+// Outputs: bench_results/scale.csv (one row per size) and a machine-
+// readable BENCH_scale.json with the headline speedup at m=512, n=64 —
+// the perf trajectory future PRs measure against (see docs/PERFORMANCE.md).
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/best_reply.hpp"
+#include "core/cost.hpp"
+#include "core/dynamics.hpp"
+#include "core/equilibrium.hpp"
+#include "core/load_state.hpp"
+#include "util/table.hpp"
+#include "workload/configs.hpp"
+
+namespace {
+
+using namespace nashlb;
+
+constexpr double kUtilization = 0.6;
+/// Paper tolerance for the Table 1 system (m = 10). The stopping norm is a
+/// *sum* of per-user response-time deltas, so the bench scales the
+/// tolerance by m/10 to keep the per-user stringency constant across the
+/// sweep instead of silently tightening it 100x at m = 1024.
+constexpr double kTolerancePerTenUsers = 1e-4;
+constexpr int kTimedRounds = 3;    // rounds per timed block
+constexpr int kTimingRepeats = 3;  // blocks per path; min is reported
+/// Old-path full convergence is O(m²·n·iterations); above this user count
+/// only the timed-block profile agreement is checked (the CSV records
+/// which check ran).
+constexpr std::size_t kMaxUsersForOldSolve = 512;
+
+/// Heavy-head/long-tail user mix: the published 10-user pattern cycled
+/// *without* the per-lap attenuation of workload::user_fractions. The
+/// attenuated mix halves each lap, so by m = 512 the smallest users carry
+/// ~1e-16 of the flow — numerically degenerate knife-edge players whose
+/// best reply flips between equal-rate computers on 1e-16 load noise. A
+/// scaling bench needs every user well conditioned; this keeps all phi_j
+/// within 7.5x of each other while preserving the paper's size spread.
+std::vector<double> scaled_fractions(std::size_t m) {
+  const std::vector<double> base = workload::default_user_fractions();
+  std::vector<double> q(m);
+  double total = 0.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    q[j] = base[j % base.size()];
+    total += q[j];
+  }
+  for (double& v : q) v /= total;
+  return q;
+}
+
+/// Table-1-style heterogeneous system scaled to n computers: the four
+/// speed classes {10, 20, 50, 100} jobs/s, cycled.
+core::Instance scaled_instance(std::size_t m, std::size_t n) {
+  static const double kClassRates[4] = {10.0, 20.0, 50.0, 100.0};
+  std::vector<double> rates(n);
+  for (std::size_t i = 0; i < n; ++i) rates[i] = kClassRates[i % 4];
+  return workload::make_instance(std::move(rates), scaled_fractions(m),
+                                 kUtilization);
+}
+
+double tolerance_for(std::size_t m) {
+  return kTolerancePerTenUsers * (static_cast<double>(m) / 10.0);
+}
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One Gauss–Seidel round, seed implementation: every best reply and
+/// response time recomputes the aggregate loads from the m×n profile.
+void scratch_round(const core::Instance& inst, core::StrategyProfile& s,
+                   std::vector<double>& last_times) {
+  for (std::size_t j = 0; j < inst.num_users(); ++j) {
+    s.set_row(j, core::best_reply(inst, s, j));
+    last_times[j] = core::user_response_time(inst, s, j);
+  }
+}
+
+/// One Gauss–Seidel round on the incremental core: O(n) per move.
+void incremental_round(const core::Instance& inst, core::StrategyProfile& s,
+                       core::LoadState& state, core::BestReplyWorkspace& ws,
+                       std::vector<double>& last_times) {
+  for (std::size_t j = 0; j < inst.num_users(); ++j) {
+    state.commit_row(s, j, core::best_reply_into(inst, s, state, j, ws));
+    last_times[j] = state.user_response_time(s, j);
+  }
+}
+
+/// Seed dynamics loop (scratch path) to convergence; returns iterations.
+std::size_t scratch_solve(const core::Instance& inst,
+                          core::StrategyProfile& s, double tolerance,
+                          std::size_t max_rounds) {
+  std::vector<double> last = core::user_response_times(inst, s);
+  for (std::size_t round = 1; round <= max_rounds; ++round) {
+    double norm = 0.0;
+    for (std::size_t j = 0; j < inst.num_users(); ++j) {
+      s.set_row(j, core::best_reply(inst, s, j));
+      const double d = core::user_response_time(inst, s, j);
+      norm += std::fabs(d - last[j]);
+      last[j] = d;
+    }
+    if (norm <= tolerance) return round;
+  }
+  return max_rounds;
+}
+
+struct SizeResult {
+  std::size_t m = 0;
+  std::size_t n = 0;
+  double old_round_seconds = 0.0;
+  double incr_round_seconds = 0.0;
+  double speedup = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+  std::string equilibrium_check;  // "full_solve" or "timed_rounds"
+  double max_profile_diff = 0.0;
+  double best_reply_gap = 0.0;
+};
+
+SizeResult run_size(std::size_t m, std::size_t n) {
+  const core::Instance inst = scaled_instance(m, n);
+  const core::StrategyProfile start = core::StrategyProfile::proportional(inst);
+  SizeResult r;
+  r.m = m;
+  r.n = n;
+
+  // --- per-round timing, both paths from the identical start ------------
+  double old_block = 0.0;
+  double incr_block = 0.0;
+  core::StrategyProfile old_end = start;
+  core::StrategyProfile incr_end = start;
+  for (int rep = 0; rep < kTimingRepeats; ++rep) {
+    {
+      core::StrategyProfile s = start;
+      std::vector<double> last(m, 0.0);
+      const double t0 = now_seconds();
+      for (int k = 0; k < kTimedRounds; ++k) scratch_round(inst, s, last);
+      const double dt = now_seconds() - t0;
+      if (rep == 0 || dt < old_block) old_block = dt;
+      old_end = std::move(s);
+    }
+    {
+      core::StrategyProfile s = start;
+      core::LoadState state(inst, s);
+      core::BestReplyWorkspace ws;
+      ws.resize(n);
+      std::vector<double> last(m, 0.0);
+      const double t0 = now_seconds();
+      for (int k = 0; k < kTimedRounds; ++k) {
+        incremental_round(inst, s, state, ws, last);
+      }
+      const double dt = now_seconds() - t0;
+      if (rep == 0 || dt < incr_block) incr_block = dt;
+      incr_end = std::move(s);
+    }
+  }
+  r.old_round_seconds = old_block / kTimedRounds;
+  r.incr_round_seconds = incr_block / kTimedRounds;
+  r.speedup = r.old_round_seconds / r.incr_round_seconds;
+  r.max_profile_diff = old_end.max_difference(incr_end);
+
+  // --- equilibrium: incremental solve, old-path cross-check -------------
+  core::DynamicsOptions opts;
+  opts.init = core::Initialization::Proportional;
+  opts.tolerance = tolerance_for(m);
+  opts.max_iterations = 5000;
+  const core::DynamicsResult res = core::best_reply_dynamics(inst, opts);
+  r.iterations = res.iterations;
+  r.converged = res.converged;
+  r.best_reply_gap = core::max_best_reply_gain(inst, res.profile);
+
+  if (m <= kMaxUsersForOldSolve) {
+    core::StrategyProfile old_eq = start;
+    (void)scratch_solve(inst, old_eq, opts.tolerance, opts.max_iterations);
+    r.max_profile_diff =
+        std::max(r.max_profile_diff, res.profile.max_difference(old_eq));
+    r.equilibrium_check = "full_solve";
+  } else {
+    r.equilibrium_check = "timed_rounds";
+  }
+  return r;
+}
+
+void write_json(const std::vector<SizeResult>& rows,
+                const SizeResult* headline) {
+  std::FILE* f = std::fopen("BENCH_scale.json", "w");
+  if (!f) {
+    std::fprintf(stderr, "bench_scale: cannot write BENCH_scale.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"scale\",\n");
+  std::fprintf(f,
+               "  \"description\": \"per-round wall time of one full "
+               "best-reply round: recompute-from-scratch (seed) vs "
+               "incremental LoadState core\",\n");
+  std::fprintf(f,
+               "  \"utilization\": %.2f,\n  \"tolerance_per_ten_users\": "
+               "%g,\n",
+               kUtilization, kTolerancePerTenUsers);
+  std::fprintf(f, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SizeResult& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"m\": %zu, \"n\": %zu, \"old_round_seconds\": %.6e, "
+        "\"incr_round_seconds\": %.6e, \"speedup\": %.2f, "
+        "\"iterations\": %zu, \"converged\": %s, "
+        "\"equilibrium_check\": \"%s\", \"max_profile_diff\": %.3e, "
+        "\"best_reply_gap\": %.3e}%s\n",
+        r.m, r.n, r.old_round_seconds, r.incr_round_seconds, r.speedup,
+        r.iterations, r.converged ? "true" : "false",
+        r.equilibrium_check.c_str(), r.max_profile_diff, r.best_reply_gap,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  if (headline) {
+    std::fprintf(f,
+                 "  \"headline\": {\"m\": %zu, \"n\": %zu, \"speedup\": "
+                 "%.2f, \"max_profile_diff\": %.3e}\n",
+                 headline->m, headline->n, headline->speedup,
+                 headline->max_profile_diff);
+  } else {
+    std::fprintf(f, "  \"headline\": null\n");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("P2", "solver scaling: incremental core vs scratch",
+                "Table-1 speed classes cycled to n computers, m users at "
+                "60% utilization; per-round wall time of both paths");
+
+  const std::vector<std::pair<std::size_t, std::size_t>> sweep = {
+      {32, 16}, {128, 16}, {512, 16}, {32, 64},
+      {128, 64}, {512, 64}, {1024, 64}};
+
+  util::Table table({"m", "n", "old round (s)", "incr round (s)", "speedup",
+                     "iters", "equilibrium check", "max |Δs|", "gap (s)"});
+  auto csv = bench::csv(
+      "scale", {"m", "n", "old_round_seconds", "incr_round_seconds",
+                "speedup", "iterations", "converged", "equilibrium_check",
+                "max_profile_diff", "best_reply_gap"});
+
+  std::vector<SizeResult> rows;
+  const SizeResult* headline = nullptr;
+  for (const auto& [m, n] : sweep) {
+    rows.push_back(run_size(m, n));
+    const SizeResult& r = rows.back();
+    table.add_row({std::to_string(r.m), std::to_string(r.n),
+                   bench::num(r.old_round_seconds),
+                   bench::num(r.incr_round_seconds), bench::num(r.speedup),
+                   std::to_string(r.iterations), r.equilibrium_check,
+                   bench::num(r.max_profile_diff),
+                   bench::num(r.best_reply_gap)});
+    if (csv) {
+      csv->add_row({std::to_string(r.m), std::to_string(r.n),
+                    bench::num(r.old_round_seconds),
+                    bench::num(r.incr_round_seconds), bench::num(r.speedup),
+                    std::to_string(r.iterations), r.converged ? "1" : "0",
+                    r.equilibrium_check, bench::num(r.max_profile_diff),
+                    bench::num(r.best_reply_gap)});
+    }
+  }
+  for (const SizeResult& r : rows) {
+    if (r.m == 512 && r.n == 64) headline = &r;
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  write_json(rows, headline);
+
+  bool ok = true;
+  if (headline) {
+    std::printf("headline (m=512, n=64): %.1fx per-round speedup, "
+                "paths agree to %.2e\n",
+                headline->speedup, headline->max_profile_diff);
+    if (headline->speedup < 5.0) {
+      std::printf("FAIL: speedup below the 5x acceptance threshold\n");
+      ok = false;
+    }
+  }
+  for (const SizeResult& r : rows) {
+    if (!(r.max_profile_diff <= 1e-10)) {
+      std::printf("FAIL: paths disagree at m=%zu n=%zu (|Δs| = %.3e)\n", r.m,
+                  r.n, r.max_profile_diff);
+      ok = false;
+    }
+    if (!r.converged) {
+      std::printf("FAIL: incremental dynamics did not converge at m=%zu "
+                  "n=%zu\n",
+                  r.m, r.n);
+      ok = false;
+    }
+  }
+  std::printf("%s; wrote bench_results/scale.csv and BENCH_scale.json\n",
+              ok ? "all checks passed" : "CHECKS FAILED");
+  return ok ? 0 : 1;
+}

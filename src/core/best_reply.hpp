@@ -14,9 +14,27 @@
 #include <span>
 #include <vector>
 
+#include "core/load_state.hpp"
 #include "core/types.hpp"
+#include "core/waterfill.hpp"
 
 namespace nashlb::core {
+
+/// Scratch buffers for the allocation-free best-reply fast path: one
+/// available-rates vector, one reply vector, and the waterfill sort
+/// order. One workspace per sequential caller (dynamics loop, ring
+/// protocol, bench) — reusing it across users keeps the capacity order
+/// nearly sorted, so the waterfill re-sort stays near O(n).
+struct BestReplyWorkspace {
+  std::vector<double> avail;
+  std::vector<double> reply;
+  WaterfillWorkspace waterfill;
+
+  void resize(std::size_t num_computers) {
+    avail.resize(num_computers);
+    reply.resize(num_computers);
+  }
+};
 
 /// Best reply computed from raw available rates (the paper's
 /// OPTIMAL(mu^j_1..mu^j_n, phi_j) signature): returns the load fractions
@@ -24,6 +42,13 @@ namespace nashlb::core {
 /// strictly exceed `phi`; throws std::invalid_argument otherwise.
 [[nodiscard]] std::vector<double> optimal_fractions(
     std::span<const double> available_rates, double phi);
+
+/// Allocation-free `optimal_fractions`: writes the load fractions into
+/// `out` (same size as `available_rates`), reusing the workspace's sort
+/// order. Identical results to the allocating overload.
+void optimal_fractions_into(std::span<const double> available_rates,
+                            double phi, std::span<double> out,
+                            WaterfillWorkspace& ws);
 
 /// Best reply of `user` against profile `s` in instance `inst` — computes
 /// the available rates and delegates to optimal_fractions. The profile's
@@ -33,6 +58,18 @@ namespace nashlb::core {
                                              const StrategyProfile& s,
                                              std::size_t user);
 
+/// Allocation-free best reply on the incremental core: reads the
+/// available rates from `state` (which must be consistent with `s`) in
+/// O(n) instead of recomputing the m×n aggregate, and writes the reply
+/// into `ws.reply`, returning a view of it (valid until the next call on
+/// the same workspace). Throws like `best_reply` when other users
+/// overload a computer.
+std::span<const double> best_reply_into(const Instance& inst,
+                                        const StrategyProfile& s,
+                                        const LoadState& state,
+                                        std::size_t user,
+                                        BestReplyWorkspace& ws);
+
 /// The improvement available to `user` by unilaterally deviating to its
 /// best reply: D_j(current) - D_j(best reply), always >= 0 up to rounding.
 /// Zero (within tolerance) for every user simultaneously characterizes a
@@ -40,5 +77,14 @@ namespace nashlb::core {
 [[nodiscard]] double best_reply_gain(const Instance& inst,
                                      const StrategyProfile& s,
                                      std::size_t user);
+
+/// As above, but with the aggregate loads lambda_i = sum_j s_ji phi_j
+/// already computed — O(n log n) instead of O(m·n). Both overloads
+/// evaluate the deviated response time directly from the available-rates
+/// vector; no profile copy is made.
+[[nodiscard]] double best_reply_gain(const Instance& inst,
+                                     const StrategyProfile& s,
+                                     std::size_t user,
+                                     std::span<const double> loads);
 
 }  // namespace nashlb::core

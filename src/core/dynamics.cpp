@@ -9,6 +9,7 @@
 #include "core/best_reply.hpp"
 #include "core/cost.hpp"
 #include "core/equilibrium.hpp"
+#include "core/load_state.hpp"
 #include "stats/rng.hpp"
 
 namespace nashlb::core {
@@ -20,23 +21,29 @@ std::vector<std::string> dynamics_trace_columns() {
 
 namespace {
 
-/// Appends one row of the convergence trace; the equilibrium certificates
-/// can throw on an infeasible intermediate profile (Jacobi divergence), in
+/// Appends one row of the convergence trace. The certificates reuse the
+/// dynamics' incrementally-carried loads (O(m·n log n) per recorded round
+/// instead of the old O(m²·n)) and are computed only on rounds selected
+/// by `certificates` — see DynamicsOptions::certificate_stride. They can
+/// throw on an infeasible intermediate profile (Jacobi divergence), in
 /// which case their cells record NaN rather than aborting the dynamics.
 void record_round(obs::TraceSink& sink, const Instance& inst,
-                  const StrategyProfile& s, std::size_t round, double norm,
+                  const StrategyProfile& s, std::span<const double> loads,
+                  bool certificates, std::size_t round, double norm,
                   double wall_seconds) {
   constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
   double gap = kNaN;
   double kkt = kNaN;
-  try {
-    gap = max_best_reply_gain(inst, s);
-    kkt = 0.0;
-    for (std::size_t j = 0; j < inst.num_users(); ++j) {
-      kkt = std::max(kkt, kkt_residual(inst, s, j));
+  if (certificates) {
+    try {
+      gap = max_best_reply_gain(inst, s, loads);
+      kkt = 0.0;
+      for (std::size_t j = 0; j < inst.num_users(); ++j) {
+        kkt = std::max(kkt, kkt_residual(inst, s, j, loads));
+      }
+    } catch (const std::exception&) {
+      // leave the certificates as NaN
     }
-  } catch (const std::exception&) {
-    // leave the certificates as NaN
   }
   std::size_t min_cut = inst.num_computers();
   std::size_t max_cut = 0;
@@ -53,11 +60,17 @@ void record_round(obs::TraceSink& sink, const Instance& inst,
                static_cast<std::int64_t>(max_cut), wall_seconds});
 }
 
+/// True on the rounds whose trace row gets the certificate columns.
+bool certificates_due(const DynamicsOptions& options, std::size_t round) {
+  return options.certificate_stride != 0 &&
+         (round - 1) % options.certificate_stride == 0;
+}
+
 /// True if every computer still has spare capacity for `user` to target.
-bool replies_computable(const Instance& inst, const StrategyProfile& s,
-                        std::size_t user) {
-  const std::vector<double> avail = s.available_rates(inst, user);
-  for (double a : avail) {
+bool replies_computable(const LoadState& state, const StrategyProfile& s,
+                        std::size_t user, std::span<double> scratch) {
+  state.available_rates(s, user, scratch);
+  for (double a : scratch) {
     if (!(a > 0.0)) return false;
   }
   return true;
@@ -79,10 +92,22 @@ DynamicsResult run(const Instance& inst, StrategyProfile profile,
   std::vector<std::size_t> order(m);
   std::iota(order.begin(), order.end(), std::size_t{0});
 
+  // The incremental core: the aggregate loads ride along with the profile
+  // and every per-move quantity (available rates, D_j) derives from them
+  // in O(n), so a full round is O(m·n) instead of O(m²·n). The loads are
+  // rebuilt from the profile at each round boundary — the rebuild is the
+  // same O(m·n) as the round's own updates, and it resets the few-ulp
+  // drift the incremental updates accumulate.
+  LoadState state(inst, result.profile);
+  BestReplyWorkspace ws;
+  ws.resize(inst.num_computers());
+
+  const bool sequential = options.order == UpdateOrder::RoundRobin ||
+                          options.order == UpdateOrder::RandomOrder;
   for (std::size_t round = 1; round <= options.max_iterations; ++round) {
+    if (round > 1 && sequential) state.rebuild(result.profile);
     double norm = 0.0;
-    if (options.order == UpdateOrder::RoundRobin ||
-        options.order == UpdateOrder::RandomOrder) {
+    if (sequential) {
       if (options.order == UpdateOrder::RandomOrder) {
         // Fisher–Yates with the dynamics' own RNG: deterministic per seed.
         for (std::size_t k = m; k > 1; --k) {
@@ -92,24 +117,30 @@ DynamicsResult run(const Instance& inst, StrategyProfile profile,
       }
       for (std::size_t idx = 0; idx < m; ++idx) {
         const std::size_t j = order[idx];
-        result.profile.set_row(j, best_reply(inst, result.profile, j));
-        const double d = user_response_time(inst, result.profile, j);
+        const std::span<const double> reply =
+            best_reply_into(inst, result.profile, state, j, ws);
+        state.commit_row(result.profile, j, reply);
+        const double d = state.user_response_time(result.profile, j);
         norm += std::fabs(d - last_times[j]);
         last_times[j] = d;
       }
     } else {
-      // Jacobi: all replies against the frozen round-(l-1) profile.
-      const StrategyProfile frozen = result.profile;
+      // Jacobi: all replies against the round-(l-1) profile. The state's
+      // loads stay frozen while the rows are overwritten — each user's
+      // available rates need only the frozen loads and its own not-yet-
+      // replaced row, so no copy of the profile is made.
       for (std::size_t j = 0; j < m; ++j) {
-        result.profile.set_row(j, best_reply(inst, frozen, j));
+        result.profile.set_row(
+            j, best_reply_into(inst, result.profile, state, j, ws));
       }
+      state.rebuild(result.profile);
       // The combined move can overload computers; detect and stop.
       bool ok = true;
       for (std::size_t j = 0; j < m && ok; ++j) {
-        ok = replies_computable(inst, result.profile, j);
+        ok = replies_computable(state, result.profile, j, ws.avail);
       }
       for (std::size_t j = 0; j < m; ++j) {
-        const double d = user_response_time(inst, result.profile, j);
+        const double d = state.user_response_time(result.profile, j);
         if (!std::isfinite(d)) ok = false;
         norm += std::fabs(d - last_times[j]);
         last_times[j] = d;
@@ -120,7 +151,8 @@ DynamicsResult run(const Instance& inst, StrategyProfile profile,
         result.diverged = true;
         result.user_times = std::move(last_times);
         if (obs::kEnabled && options.trace) {
-          record_round(*options.trace, inst, result.profile, round, norm,
+          record_round(*options.trace, inst, result.profile, state.loads(),
+                       certificates_due(options, round), round, norm,
                        wall_seconds());
         }
         return result;
@@ -130,7 +162,8 @@ DynamicsResult run(const Instance& inst, StrategyProfile profile,
     result.iterations = round;
     result.norm_history.push_back(norm);
     if (obs::kEnabled && options.trace) {
-      record_round(*options.trace, inst, result.profile, round, norm,
+      record_round(*options.trace, inst, result.profile, state.loads(),
+                   certificates_due(options, round), round, norm,
                    wall_seconds());
     }
     if (observer) observer(round, result.profile, norm);

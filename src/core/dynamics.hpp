@@ -59,6 +59,14 @@ struct DynamicsOptions {
   /// equilibrium certificates each round — O(m n log n) extra work — so
   /// leave it null on hot paths. See docs/OBSERVABILITY.md.
   obs::TraceSink* trace = nullptr;
+  /// Cadence of the trace's certificate columns (best_reply_gap,
+  /// max_kkt_residual): they are computed on rounds 1, 1+k, 1+2k, … and
+  /// recorded as NaN in between; 0 disables them entirely (the other
+  /// columns are still recorded every round). The default 1 preserves the
+  /// full per-round trace; raise the stride (or set 0) when tracing a
+  /// large system, where the certificates cost more than the round they
+  /// certify. Ignored when `trace` is null.
+  std::size_t certificate_stride = 1;
 };
 
 /// Outcome of a run of the dynamics.

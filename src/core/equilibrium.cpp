@@ -11,9 +11,14 @@
 namespace nashlb::core {
 
 double max_best_reply_gain(const Instance& inst, const StrategyProfile& s) {
+  return max_best_reply_gain(inst, s, s.loads(inst));
+}
+
+double max_best_reply_gain(const Instance& inst, const StrategyProfile& s,
+                           std::span<const double> loads) {
   double worst = 0.0;
   for (std::size_t j = 0; j < inst.num_users(); ++j) {
-    worst = std::max(worst, best_reply_gain(inst, s, j));
+    worst = std::max(worst, best_reply_gain(inst, s, j, loads));
   }
   return worst;
 }
@@ -26,12 +31,23 @@ bool is_nash_equilibrium(const Instance& inst, const StrategyProfile& s,
 
 double kkt_residual(const Instance& inst, const StrategyProfile& s,
                     std::size_t user) {
+  return kkt_residual(inst, s, user, s.loads(inst));
+}
+
+double kkt_residual(const Instance& inst, const StrategyProfile& s,
+                    std::size_t user, std::span<const double> loads) {
   if (user >= inst.num_users()) {
     throw std::out_of_range("kkt_residual: user out of range");
   }
-  const std::vector<double> avail = s.available_rates(inst, user);
+  if (loads.size() != inst.num_computers()) {
+    throw std::invalid_argument("kkt_residual: loads size mismatch");
+  }
   const std::span<const double> strategy = s.row(user);
   const double phi = inst.phi[user];
+  std::vector<double> avail(loads.size());
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    avail[i] = inst.mu[i] - (loads[i] - strategy[i] * phi);
+  }
 
   // Marginal cost of user flow at each computer.
   std::vector<double> g(avail.size());

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 
 #include "core/types.hpp"
 #include "stats/rng.hpp"
@@ -23,6 +24,13 @@ namespace nashlb::core {
 /// max_j [ D_j(s) - D_j(best_reply_j, s_-j) ]. Zero at a Nash equilibrium.
 [[nodiscard]] double max_best_reply_gain(const Instance& inst,
                                          const StrategyProfile& s);
+
+/// As above, with the aggregate loads lambda precomputed (e.g. carried by
+/// a LoadState): O(m·n log n) for the full certificate instead of
+/// O(m²·n). `loads` must equal sum_j s_ji phi_j.
+[[nodiscard]] double max_best_reply_gain(const Instance& inst,
+                                         const StrategyProfile& s,
+                                         std::span<const double> loads);
 
 /// True iff no user can improve its expected response time by more than
 /// `tolerance` seconds by unilateral deviation.
@@ -39,6 +47,11 @@ namespace nashlb::core {
 /// rounding) certifies the appendix's optimality conditions.
 [[nodiscard]] double kkt_residual(const Instance& inst,
                                   const StrategyProfile& s, std::size_t user);
+
+/// As above, with the aggregate loads precomputed — O(n) per user.
+[[nodiscard]] double kkt_residual(const Instance& inst,
+                                  const StrategyProfile& s, std::size_t user,
+                                  std::span<const double> loads);
 
 /// Probes `trials` random feasible deviations of `user`'s strategy (moving
 /// up to `step` of its traffic between computer pairs) and returns the best

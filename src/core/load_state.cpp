@@ -1,0 +1,94 @@
+#include "core/load_state.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace nashlb::core {
+
+LoadState::LoadState(const Instance& inst, const StrategyProfile& s)
+    : inst_(&inst), lambda_(inst.num_computers(), 0.0) {
+  if (s.num_users() != inst.num_users() ||
+      s.num_computers() != inst.num_computers()) {
+    throw std::invalid_argument("LoadState: profile/instance mismatch");
+  }
+  rebuild(s);
+}
+
+void LoadState::check_dimensions(const StrategyProfile& s) const {
+  if (s.num_users() != inst_->num_users() ||
+      s.num_computers() != lambda_.size()) {
+    throw std::invalid_argument("LoadState: profile dimension mismatch");
+  }
+}
+
+void LoadState::rebuild(const StrategyProfile& s) {
+  check_dimensions(s);
+  const std::size_t n = lambda_.size();
+  std::fill(lambda_.begin(), lambda_.end(), 0.0);
+  for (std::size_t j = 0; j < s.num_users(); ++j) {
+    const std::span<const double> row = s.row(j);
+    const double rate = inst_->phi[j];
+    for (std::size_t i = 0; i < n; ++i) {
+      lambda_[i] += row[i] * rate;
+    }
+  }
+}
+
+void LoadState::available_rates(const StrategyProfile& s, std::size_t user,
+                                std::span<double> out) const {
+  check_dimensions(s);
+  if (user >= s.num_users()) {
+    throw std::out_of_range("LoadState::available_rates: user out of range");
+  }
+  if (out.size() != lambda_.size()) {
+    throw std::invalid_argument(
+        "LoadState::available_rates: output size mismatch");
+  }
+  const std::span<const double> row = s.row(user);
+  const double rate = inst_->phi[user];
+  for (std::size_t i = 0; i < lambda_.size(); ++i) {
+    out[i] = inst_->mu[i] - (lambda_[i] - row[i] * rate);
+  }
+}
+
+void LoadState::commit_row(StrategyProfile& s, std::size_t user,
+                           std::span<const double> new_row) {
+  check_dimensions(s);
+  if (new_row.size() != lambda_.size()) {
+    throw std::invalid_argument("LoadState::commit_row: row size mismatch");
+  }
+  const std::span<const double> old_row = s.row(user);
+  const double rate = inst_->phi[user];
+  for (std::size_t i = 0; i < lambda_.size(); ++i) {
+    lambda_[i] += (new_row[i] - old_row[i]) * rate;
+  }
+  s.set_row(user, new_row);
+}
+
+double LoadState::user_response_time(const StrategyProfile& s,
+                                     std::size_t user) const {
+  check_dimensions(s);
+  const std::span<const double> row = s.row(user);
+  double d = 0.0;
+  for (std::size_t i = 0; i < lambda_.size(); ++i) {
+    if (row[i] > 0.0) {
+      const double slack = inst_->mu[i] - lambda_[i];
+      if (!(slack > 0.0)) return std::numeric_limits<double>::infinity();
+      d += row[i] * (1.0 / slack);  // same rounding as cost.hpp's F_i
+    }
+  }
+  return d;
+}
+
+double LoadState::max_drift(const StrategyProfile& s) const {
+  check_dimensions(s);
+  const std::vector<double> fresh = s.loads(*inst_);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < lambda_.size(); ++i) {
+    worst = std::max(worst, std::fabs(lambda_[i] - fresh[i]));
+  }
+  return worst;
+}
+
+}  // namespace nashlb::core

@@ -1,0 +1,82 @@
+// Incremental aggregate-load state — the O(m·n)-per-round solver core.
+//
+// Every quantity the best-reply dynamics needs per user move (available
+// rates mu^j, the user's expected response time D_j) is a function of the
+// aggregate per-computer loads lambda_i = sum_j s_ji phi_j and the moving
+// user's own row. `StrategyProfile::available_rates` recomputes lambda
+// from the whole m×n profile on every call, which makes one Gauss–Seidel
+// round of the dynamics O(m²·n). A `LoadState` carries lambda across the
+// dynamics loop and updates it in O(n) per user move (subtract the
+// mover's old contribution, add the new one), so a full round of m moves
+// costs O(m·n) — plus O(n log n) per move for the water-filling reply
+// itself, which an incremental re-sort (see waterfill.hpp) brings down to
+// nearly O(n) in practice.
+//
+// Floating-point drift: each incremental update rounds differently from a
+// fresh summation, so lambda can drift from recompute-from-scratch by a
+// few ulps per move. Callers that iterate for many rounds call `rebuild`
+// at round boundaries (itself O(m·n), the same as one round of updates,
+// so the asymptotics are unchanged); the property tests bound the drift
+// of long un-rebuilt sequences.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace nashlb::core {
+
+/// The aggregate load vector lambda of one (instance, profile) pair,
+/// kept consistent with the profile through `commit_row` updates.
+class LoadState {
+ public:
+  /// Builds lambda from scratch — O(m·n). The instance must outlive the
+  /// state; every later call must pass a profile with these dimensions.
+  LoadState(const Instance& inst, const StrategyProfile& s);
+
+  /// Recomputes lambda from the profile — O(m·n). Same summation order
+  /// as `StrategyProfile::loads`, so the result is bitwise identical to
+  /// a fresh recompute.
+  void rebuild(const StrategyProfile& s);
+
+  /// Current aggregate loads lambda_i (view into the state's storage;
+  /// invalidated by commit_row/rebuild).
+  [[nodiscard]] std::span<const double> loads() const noexcept {
+    return lambda_;
+  }
+
+  [[nodiscard]] std::size_t num_computers() const noexcept {
+    return lambda_.size();
+  }
+
+  /// Available rates mu^j_i = mu_i - (lambda_i - s_ji phi_j) seen by
+  /// `user`, written into `out` (size n) — O(n).
+  void available_rates(const StrategyProfile& s, std::size_t user,
+                       std::span<double> out) const;
+
+  /// Installs `new_row` as `user`'s strategy: updates lambda by the row
+  /// delta and writes the row into the profile — O(n). `new_row` must not
+  /// alias the profile's own storage.
+  void commit_row(StrategyProfile& s, std::size_t user,
+                  std::span<const double> new_row);
+
+  /// User `user`'s expected response time D_j = sum_i s_ji/(mu_i -
+  /// lambda_i) at the current loads — O(n). +infinity if the user sends
+  /// flow to a computer with no slack, matching cost.hpp's convention.
+  [[nodiscard]] double user_response_time(const StrategyProfile& s,
+                                          std::size_t user) const;
+
+  /// Max-norm distance between the carried lambda and a from-scratch
+  /// recompute of `s`'s loads — O(m·n). Diagnostic for drift tests.
+  [[nodiscard]] double max_drift(const StrategyProfile& s) const;
+
+ private:
+  void check_dimensions(const StrategyProfile& s) const;
+
+  const Instance* inst_;
+  std::vector<double> lambda_;
+};
+
+}  // namespace nashlb::core

@@ -27,24 +27,52 @@ void check_inputs(std::span<const double> capacities, double demand,
   }
 }
 
-/// Indices of `capacities` sorted by decreasing capacity; ties broken by
-/// index so results are deterministic.
-std::vector<std::size_t> sort_decreasing(std::span<const double> capacities) {
-  std::vector<std::size_t> order(capacities.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::size_t a, std::size_t b) {
-                     return capacities[a] > capacities[b];
-                   });
-  return order;
+void check_out(std::span<const double> capacities, std::span<double> out,
+               const char* who) {
+  if (out.size() != capacities.size()) {
+    throw std::invalid_argument(std::string(who) +
+                                ": output buffer size mismatch");
+  }
+}
+
+/// Refreshes ws.order to hold indices by decreasing capacity, ties broken
+/// by index — the strict total order the old stable sort produced. When
+/// the workspace already holds an order of the right size (the previous
+/// round's, typically nearly sorted for the new capacities), an insertion
+/// pass costs O(n + inversions); otherwise a fresh O(n log n) sort.
+void update_order(std::span<const double> capacities,
+                  WaterfillWorkspace& ws) {
+  const std::size_t n = capacities.size();
+  const auto before = [&](std::size_t a, std::size_t b) {
+    return capacities[a] > capacities[b] ||
+           (capacities[a] == capacities[b] && a < b);
+  };
+  if (ws.order.size() != n) {
+    ws.order.resize(n);
+    std::iota(ws.order.begin(), ws.order.end(), std::size_t{0});
+    std::sort(ws.order.begin(), ws.order.end(), before);
+    return;
+  }
+  for (std::size_t k = 1; k < n; ++k) {
+    const std::size_t idx = ws.order[k];
+    std::size_t pos = k;
+    while (pos > 0 && before(idx, ws.order[pos - 1])) {
+      ws.order[pos] = ws.order[pos - 1];
+      --pos;
+    }
+    ws.order[pos] = idx;
+  }
 }
 
 }  // namespace
 
-WaterfillResult waterfill_sqrt(std::span<const double> capacities,
-                               double demand) {
+WaterfillInfo waterfill_sqrt_into(std::span<const double> capacities,
+                                  double demand, std::span<double> lambda_out,
+                                  WaterfillWorkspace& ws) {
   check_inputs(capacities, demand, "waterfill_sqrt");
-  const std::vector<std::size_t> order = sort_decreasing(capacities);
+  check_out(capacities, lambda_out, "waterfill_sqrt");
+  update_order(capacities, ws);
+  const std::span<const std::size_t> order = ws.order;
   const std::size_t n = order.size();
 
   // Step 2 of OPTIMAL: running sums over the candidate active set.
@@ -71,27 +99,27 @@ WaterfillResult waterfill_sqrt(std::span<const double> capacities,
 
   // Step 4: closed-form shares; the final one by subtraction so the
   // conservation constraint holds exactly in floating point.
-  WaterfillResult res;
-  res.lambda.assign(n, 0.0);
-  res.level = t;
-  res.active_count = c;
+  std::fill(lambda_out.begin(), lambda_out.end(), 0.0);
   double assigned = 0.0;
   for (std::size_t k = 0; k + 1 < c; ++k) {
     const double cap = capacities[order[k]];
     const double share = cap - std::sqrt(cap) * t;
-    res.lambda[order[k]] = share;
+    lambda_out[order[k]] = share;
     assigned += share;
   }
-  res.lambda[order[c - 1]] = demand - assigned;
-  if (res.lambda[order[c - 1]] < 0.0) res.lambda[order[c - 1]] = 0.0;
-  if (demand == 0.0) res.active_count = 0;
-  return res;
+  lambda_out[order[c - 1]] = demand - assigned;
+  if (lambda_out[order[c - 1]] < 0.0) lambda_out[order[c - 1]] = 0.0;
+  return {demand == 0.0 ? 0 : c, t};
 }
 
-WaterfillResult waterfill_linear(std::span<const double> capacities,
-                                 double demand) {
+WaterfillInfo waterfill_linear_into(std::span<const double> capacities,
+                                    double demand,
+                                    std::span<double> lambda_out,
+                                    WaterfillWorkspace& ws) {
   check_inputs(capacities, demand, "waterfill_linear");
-  const std::vector<std::size_t> order = sort_decreasing(capacities);
+  check_out(capacities, lambda_out, "waterfill_linear");
+  update_order(capacities, ws);
+  const std::span<const std::size_t> order = ws.order;
   const std::size_t n = order.size();
 
   double sum_c = 0.0;
@@ -107,19 +135,39 @@ WaterfillResult waterfill_linear(std::span<const double> capacities,
     t = (sum_c - demand) / static_cast<double>(c);
   }
 
-  WaterfillResult res;
-  res.lambda.assign(n, 0.0);
-  res.level = t;
-  res.active_count = c;
+  std::fill(lambda_out.begin(), lambda_out.end(), 0.0);
   double assigned = 0.0;
   for (std::size_t k = 0; k + 1 < c; ++k) {
     const double share = capacities[order[k]] - t;
-    res.lambda[order[k]] = share;
+    lambda_out[order[k]] = share;
     assigned += share;
   }
-  res.lambda[order[c - 1]] = demand - assigned;
-  if (res.lambda[order[c - 1]] < 0.0) res.lambda[order[c - 1]] = 0.0;
-  if (demand == 0.0) res.active_count = 0;
+  lambda_out[order[c - 1]] = demand - assigned;
+  if (lambda_out[order[c - 1]] < 0.0) lambda_out[order[c - 1]] = 0.0;
+  return {demand == 0.0 ? 0 : c, t};
+}
+
+WaterfillResult waterfill_sqrt(std::span<const double> capacities,
+                               double demand) {
+  WaterfillWorkspace ws;
+  WaterfillResult res;
+  res.lambda.resize(capacities.size());
+  const WaterfillInfo info =
+      waterfill_sqrt_into(capacities, demand, res.lambda, ws);
+  res.active_count = info.active_count;
+  res.level = info.level;
+  return res;
+}
+
+WaterfillResult waterfill_linear(std::span<const double> capacities,
+                                 double demand) {
+  WaterfillWorkspace ws;
+  WaterfillResult res;
+  res.lambda.resize(capacities.size());
+  const WaterfillInfo info =
+      waterfill_linear_into(capacities, demand, res.lambda, ws);
+  res.active_count = info.active_count;
+  res.level = info.level;
   return res;
 }
 

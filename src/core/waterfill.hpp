@@ -38,6 +38,24 @@ struct WaterfillResult {
   double level = 0.0;
 };
 
+/// The scalar part of a WaterfillResult, returned by the allocation-free
+/// `_into` variants that write lambda into a caller-provided buffer.
+struct WaterfillInfo {
+  std::size_t active_count = 0;
+  double level = 0.0;
+};
+
+/// Reusable scratch for the `_into` variants. Holds the capacity sort
+/// order from the previous call; when the next call's capacities are
+/// nearly sorted under it (the common case across best-reply rounds,
+/// where available rates move only slightly per move), the re-sort is an
+/// O(n + inversions) insertion pass instead of a fresh O(n log n) sort.
+/// A workspace may be shared across calls with different capacity sizes;
+/// the order is rebuilt from scratch whenever the size changes.
+struct WaterfillWorkspace {
+  std::vector<std::size_t> order;  ///< indices by decreasing capacity
+};
+
 /// Minimizes sum_i lambda_i/(c_i - lambda_i) subject to lambda >= 0,
 /// sum lambda = demand. This *is* the paper's OPTIMAL algorithm when
 /// `capacities` are the available rates mu^j seen by one user, and the
@@ -52,5 +70,20 @@ struct WaterfillResult {
 /// Same preconditions and guarantees as waterfill_sqrt.
 [[nodiscard]] WaterfillResult waterfill_linear(
     std::span<const double> capacities, double demand);
+
+/// Allocation-free waterfill_sqrt: writes lambda into `lambda_out`
+/// (which must have the capacities' size) and reuses/updates the
+/// workspace's sort order. Produces bitwise-identical allocations to
+/// `waterfill_sqrt` — the incremental re-sort reaches the exact order the
+/// fresh stable sort would (ties broken by index).
+WaterfillInfo waterfill_sqrt_into(std::span<const double> capacities,
+                                  double demand, std::span<double> lambda_out,
+                                  WaterfillWorkspace& ws);
+
+/// Allocation-free waterfill_linear; same contract as waterfill_sqrt_into.
+WaterfillInfo waterfill_linear_into(std::span<const double> capacities,
+                                    double demand,
+                                    std::span<double> lambda_out,
+                                    WaterfillWorkspace& ws);
 
 }  // namespace nashlb::core

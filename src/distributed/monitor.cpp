@@ -17,7 +17,13 @@ std::vector<double> RateMonitor::observe(const core::Instance& inst,
                                          const core::StrategyProfile& s,
                                          std::size_t user) {
   std::vector<double> avail = s.available_rates(inst, user);
-  if (noise_sigma_ == 0.0) return avail;
+  perturb(inst, avail);
+  return avail;
+}
+
+void RateMonitor::perturb(const core::Instance& inst,
+                          std::span<double> avail) {
+  if (noise_sigma_ == 0.0) return;
 
   const stats::Normal noise(0.0, noise_sigma_);
   for (std::size_t i = 0; i < avail.size(); ++i) {
@@ -28,7 +34,6 @@ std::vector<double> RateMonitor::observe(const core::Instance& inst,
     const double estimated = avail[i] * factor;
     avail[i] = std::clamp(estimated, 1e-6 * inst.mu[i], avail[i]);
   }
-  return avail;
 }
 
 }  // namespace nashlb::distributed

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "core/types.hpp"
@@ -35,6 +36,13 @@ class RateMonitor {
   [[nodiscard]] std::vector<double> observe(const core::Instance& inst,
                                             const core::StrategyProfile& s,
                                             std::size_t user);
+
+  /// In-place noise model for callers that already hold the exact
+  /// available rates (e.g. computed in O(n) from an incremental
+  /// core::LoadState): perturbs `avail` exactly as `observe` would.
+  /// A no-op when noise_sigma is 0 — no RNG draws are consumed, so exact
+  /// monitoring stays bit-for-bit reproducible.
+  void perturb(const core::Instance& inst, std::span<double> avail);
 
   [[nodiscard]] double noise_sigma() const noexcept { return noise_sigma_; }
 

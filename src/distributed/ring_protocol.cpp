@@ -7,6 +7,7 @@
 
 #include "core/best_reply.hpp"
 #include "core/cost.hpp"
+#include "core/load_state.hpp"
 #include "des/simulator.hpp"
 #include "distributed/monitor.hpp"
 
@@ -25,6 +26,8 @@ struct ProtocolState {
   des::Simulator sim;
   RateMonitor monitor;
   core::StrategyProfile profile;
+  core::LoadState state;          // incremental aggregate loads
+  core::BestReplyWorkspace ws;    // per-update scratch (no allocation)
   std::vector<double> last_times;  // D_j at each user's previous update
   std::size_t round = 1;
   double norm = 0.0;
@@ -38,8 +41,11 @@ struct ProtocolState {
         opts(options),
         monitor(options.noise_sigma, options.seed),
         profile(std::move(start)),
+        state(instance, profile),
         last_times(instance.num_users(), 0.0),
-        result{profile, false, 0, 0, 0.0, {}, {}} {}
+        result{profile, false, 0, 0, 0.0, {}, {}} {
+    ws.resize(instance.num_computers());
+  }
 };
 
 /// Token arrival at `user`: update strategy, forward. Declared up front so
@@ -63,11 +69,16 @@ void send_stop(const std::shared_ptr<ProtocolState>& st, std::size_t to) {
 }
 
 void update_user(const std::shared_ptr<ProtocolState>& st, std::size_t user) {
-  const std::vector<double> observed =
-      st->monitor.observe(st->inst, st->profile, user);
-  st->profile.set_row(
-      user, core::optimal_fractions(observed, st->inst.phi[user]));
-  const double d = core::user_response_time(st->inst, st->profile, user);
+  // Inspect the run queues (O(n) off the incremental loads), apply the
+  // monitor's noise model, reply, and commit — the same per-move sequence
+  // as core::best_reply_dynamics, so exact monitoring reproduces the
+  // in-memory dynamics bit-for-bit.
+  st->state.available_rates(st->profile, user, st->ws.avail);
+  st->monitor.perturb(st->inst, st->ws.avail);
+  core::optimal_fractions_into(st->ws.avail, st->inst.phi[user], st->ws.reply,
+                               st->ws.waterfill);
+  st->state.commit_row(st->profile, user, st->ws.reply);
+  const double d = st->state.user_response_time(st->profile, user);
   st->norm += std::fabs(d - st->last_times[user]);
   st->last_times[user] = d;
 }
@@ -91,8 +102,11 @@ void close_round(const std::shared_ptr<ProtocolState>& st) {
   if (st->round >= st->opts.max_rounds) return;  // give up, not converged
   ++st->round;
   st->norm = 0.0;
-  // User 1 (index 0) starts the next round with its own update.
+  // User 1 (index 0) starts the next round with its own update. The
+  // loads are rebuilt from the profile at each round boundary, mirroring
+  // core::best_reply_dynamics' drift control exactly.
   st->sim.schedule(st->opts.compute_time, [st](des::SimTime) {
+    st->state.rebuild(st->profile);
     update_user(st, 0);
     send_token(st, 1 % st->inst.num_users());
   });

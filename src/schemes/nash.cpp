@@ -6,7 +6,7 @@ namespace nashlb::schemes {
 
 core::DynamicsResult NashScheme::solve_with_trace(
     const core::Instance& inst) const {
-  core::DynamicsOptions opts;
+  core::DynamicsOptions opts = base_options_;
   opts.init = init_;
   opts.tolerance = tolerance_;
   opts.max_iterations = max_iterations_;

@@ -37,10 +37,18 @@ class NashScheme final : public Scheme {
   [[nodiscard]] core::DynamicsResult solve_with_trace(
       const core::Instance& inst) const;
 
+  /// Extra dynamics knobs (update order, trace sink, certificate stride,
+  /// order seed). The constructor's init/tolerance/max_iterations still
+  /// take precedence over the corresponding fields here.
+  void set_dynamics_options(const core::DynamicsOptions& base) {
+    base_options_ = base;
+  }
+
  private:
   core::Initialization init_;
   double tolerance_;
   std::size_t max_iterations_;
+  core::DynamicsOptions base_options_;
 };
 
 }  // namespace nashlb::schemes
