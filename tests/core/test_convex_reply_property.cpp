@@ -124,9 +124,9 @@ INSTANTIATE_TEST_SUITE_P(
                       MixParam{3, false}, MixParam{4, true},
                       MixParam{5, true}, MixParam{6, true},
                       MixParam{7, true}, MixParam{8, true}),
-    [](const ::testing::TestParamInfo<MixParam>& info) {
-      return std::string(info.param.multicore ? "mixed" : "mm1") + "_s" +
-             std::to_string(info.param.seed);
+    [](const ::testing::TestParamInfo<MixParam>& param_info) {
+      return std::string(param_info.param.multicore ? "mixed" : "mm1") +
+             "_s" + std::to_string(param_info.param.seed);
     });
 
 }  // namespace

@@ -79,9 +79,7 @@ TEST(Cost, OverallFromLoadsEdgeCases) {
       0.0);
   EXPECT_TRUE(std::isinf(overall_response_time_from_loads(
       std::vector<double>{10.0, 0.0}, mu)));
-  EXPECT_THROW(
-      overall_response_time_from_loads(std::vector<double>{1.0}, mu),
-      std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(overall_response_time_from_loads(std::vector<double>{1.0}, mu)), std::invalid_argument);
 }
 
 TEST(Cost, ConvexityAlongFeasibleSegment) {

@@ -67,8 +67,8 @@ TEST(StrategyProfile, SetAndGetWithBoundsChecks) {
   StrategyProfile s(2, 2);
   s.set(1, 0, 0.7);
   EXPECT_DOUBLE_EQ(s.at(1, 0), 0.7);
-  EXPECT_THROW(s.at(2, 0), std::out_of_range);
-  EXPECT_THROW(s.set(0, 2, 0.1), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(s.at(2, 0)), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(s.set(0, 2, 0.1)), std::out_of_range);
 }
 
 TEST(StrategyProfile, ProportionalRowsSumToOne) {
@@ -146,7 +146,7 @@ TEST(StrategyProfile, MaxDifference) {
   EXPECT_NEAR(a.max_difference(b), 0.2, 1e-12);
   EXPECT_DOUBLE_EQ(a.max_difference(a), 0.0);
   StrategyProfile c(2, 2);
-  EXPECT_THROW(a.max_difference(c), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(a.max_difference(c)), std::invalid_argument);
 }
 
 TEST(StrategyProfile, EqualityIsValueBased) {

@@ -251,9 +251,10 @@ INSTANTIATE_TEST_SUITE_P(
         SweepParam{16, 0.95, 9}, SweepParam{64, 0.3, 10},
         SweepParam{64, 0.8, 11}, SweepParam{256, 0.5, 12},
         SweepParam{256, 0.99, 13}),
-    [](const ::testing::TestParamInfo<SweepParam>& info) {
-      return "n" + std::to_string(info.param.n) + "_u" +
-             std::to_string(static_cast<int>(info.param.utilization * 100));
+    [](const ::testing::TestParamInfo<SweepParam>& param_info) {
+      return "n" + std::to_string(param_info.param.n) + "_u" +
+             std::to_string(
+                 static_cast<int>(param_info.param.utilization * 100));
     });
 
 }  // namespace

@@ -13,7 +13,7 @@ TEST(EventQueue, StartsEmpty) {
   EXPECT_TRUE(q.empty());
   EXPECT_EQ(q.size(), 0u);
   EXPECT_THROW(q.pop(), std::logic_error);
-  EXPECT_THROW(q.next_time(), std::logic_error);
+  EXPECT_THROW(static_cast<void>(q.next_time()), std::logic_error);
 }
 
 TEST(EventQueue, PopsInTimeOrder) {
@@ -39,7 +39,9 @@ TEST(EventQueue, SimultaneousEventsAreFifo) {
     auto rec = q.pop();
     rec->fn(rec->time);
   }
-  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], static_cast<int>(i));
+  }
 }
 
 TEST(EventQueue, NextTimePeeksWithoutPopping) {

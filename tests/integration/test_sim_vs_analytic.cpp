@@ -57,8 +57,8 @@ TEST_P(SimVsAnalytic, PerUserResponseTracksAnalytic) {
 
 INSTANTIATE_TEST_SUITE_P(PaperSchemes, SimVsAnalytic,
                          ::testing::Values("NASH", "GOS", "IOS", "PS"),
-                         [](const auto& info) {
-                           return std::string(info.param);
+                         [](const auto& param_info) {
+                           return std::string(param_info.param);
                          });
 
 }  // namespace

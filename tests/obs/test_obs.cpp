@@ -95,8 +95,9 @@ TEST(ObsMetrics, RegistryReferencesAreStable) {
   obs::detail::EnabledCounter& a = reg.counter("a");
   // Creating many more metrics must not invalidate `a`.
   for (int i = 0; i < 100; ++i) {
-    reg.counter("c" + std::to_string(i)).add();
-    reg.timer("t" + std::to_string(i)).add_seconds(0.1);
+    const std::string suffix = std::to_string(i);
+    reg.counter("c" + suffix).add();
+    reg.timer("t" + suffix).add_seconds(0.1);
   }
   a.add(7);
   EXPECT_EQ(reg.counter("a").value(), 7u);
@@ -278,7 +279,9 @@ TEST(ObsWiring, DynamicsEmitsOneRowPerRound) {
       EXPECT_GE(sink.column_as_doubles("min_cut")[l], 1.0);
       EXPECT_LE(sink.column_as_doubles("max_cut")[l],
                 static_cast<double>(inst.num_computers()));
-      if (l > 0) EXPECT_GE(wall[l], wall[l - 1]);
+      if (l > 0) {
+        EXPECT_GE(wall[l], wall[l - 1]);
+      }
     }
   } else {
     EXPECT_EQ(sink.size(), 0u);

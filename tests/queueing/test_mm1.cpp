@@ -91,8 +91,8 @@ TEST(MarginalDelay, MonotoneInLoad) {
 }
 
 TEST(MarginalDelay, RejectsUnstable) {
-  EXPECT_THROW(mm1_marginal_delay(10.0, 10.0), std::invalid_argument);
-  EXPECT_THROW(mm1_marginal_delay(-1.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(mm1_marginal_delay(10.0, 10.0)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(mm1_marginal_delay(-1.0, 10.0)), std::invalid_argument);
 }
 
 }  // namespace

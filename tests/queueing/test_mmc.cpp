@@ -11,9 +11,9 @@ namespace nashlb::queueing {
 namespace {
 
 TEST(ErlangC, RejectsBadInputs) {
-  EXPECT_THROW(erlang_c(0, 0.5), std::invalid_argument);
-  EXPECT_THROW(erlang_c(2, 2.0), std::invalid_argument);
-  EXPECT_THROW(erlang_c(2, -0.1), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(erlang_c(0, 0.5)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(erlang_c(2, 2.0)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(erlang_c(2, -0.1)), std::invalid_argument);
 }
 
 TEST(ErlangC, ZeroLoadNeverWaits) {

@@ -34,9 +34,8 @@ TEST(Stability, MarginTightens) {
 }
 
 TEST(Stability, SizeMismatchThrows) {
-  EXPECT_THROW(all_stations_stable(std::vector<double>{1.0},
-                                   std::vector<double>{2.0, 3.0}),
-               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(all_stations_stable(std::vector<double>{1.0},
+                                   std::vector<double>{2.0, 3.0})), std::invalid_argument);
 }
 
 TEST(Stability, SystemStable) {
@@ -54,10 +53,8 @@ TEST(Stability, SystemUtilization) {
 
 TEST(Stability, TotalCapacity) {
   EXPECT_DOUBLE_EQ(total_capacity(std::vector<double>{1.5, 2.5}), 4.0);
-  EXPECT_THROW(total_capacity(std::vector<double>{1.0, 0.0}),
-               std::invalid_argument);
-  EXPECT_THROW(total_capacity(std::vector<double>{-1.0}),
-               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(total_capacity(std::vector<double>{1.0, 0.0})), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(total_capacity(std::vector<double>{-1.0})), std::invalid_argument);
 }
 
 }  // namespace

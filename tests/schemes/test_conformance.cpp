@@ -67,10 +67,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values("NASH_P", "NASH_0", "GOS",
                                          "GOS_UNIFORM", "IOS", "PS", "NBS"),
                        ::testing::Values(0.15, 0.5, 0.85)),
-    [](const ::testing::TestParamInfo<Param>& info) {
-      return std::string(std::get<0>(info.param)) + "_u" +
+    [](const ::testing::TestParamInfo<Param>& param_info) {
+      return std::string(std::get<0>(param_info.param)) + "_u" +
              std::to_string(
-                 static_cast<int>(std::get<1>(info.param) * 100));
+                 static_cast<int>(std::get<1>(param_info.param) * 100));
     });
 
 }  // namespace

@@ -105,7 +105,7 @@ TEST(Discrete, NormalizesProbabilities) {
   const Discrete d(std::vector<double>{2.0, 6.0});
   EXPECT_NEAR(d.probability(0), 0.25, 1e-12);
   EXPECT_NEAR(d.probability(1), 0.75, 1e-12);
-  EXPECT_THROW(d.probability(2), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(d.probability(2)), std::out_of_range);
 }
 
 TEST(Discrete, ZeroWeightEntriesNeverDrawn) {

@@ -51,13 +51,10 @@ TEST(Fairness, EmptyAndAllZeroAreVacuouslyFair) {
 }
 
 TEST(Fairness, RejectsNegativeOrNonFinite) {
-  EXPECT_THROW(fairness_index(std::vector<double>{1.0, -1.0}),
-               std::invalid_argument);
-  EXPECT_THROW(fairness_index(std::vector<double>{1.0, std::nan("")}),
-               std::invalid_argument);
-  EXPECT_THROW(fairness_index(std::vector<double>{
-                   1.0, std::numeric_limits<double>::infinity()}),
-               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(fairness_index(std::vector<double>{1.0, -1.0})), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(fairness_index(std::vector<double>{1.0, std::nan("")})), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(fairness_index(std::vector<double>{
+                   1.0, std::numeric_limits<double>::infinity()})), std::invalid_argument);
 }
 
 }  // namespace

@@ -59,17 +59,17 @@ TEST(Args, BoolVariants) {
 
 TEST(Args, MalformedIntThrows) {
   const Args a = parse({"--n=abc"});
-  EXPECT_THROW(a.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(a.get_int("n", 0)), std::invalid_argument);
 }
 
 TEST(Args, MalformedDoubleThrows) {
   const Args a = parse({"--x=1.2.3"});
-  EXPECT_THROW(a.get_double("x", 0.0), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(a.get_double("x", 0.0)), std::invalid_argument);
 }
 
 TEST(Args, MalformedBoolThrows) {
   const Args a = parse({"--b=maybe"});
-  EXPECT_THROW(a.get_bool("b", false), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(a.get_bool("b", false)), std::invalid_argument);
 }
 
 TEST(Args, NegativeNumberAsValue) {
