@@ -6,6 +6,7 @@
 
 #include "core/cost.hpp"
 #include "core/waterfill.hpp"
+#include "util/contracts.hpp"
 
 namespace nashlb::core {
 namespace {
@@ -43,10 +44,22 @@ void optimal_fractions_into(std::span<const double> available_rates,
                             double phi, std::span<double> out,
                             WaterfillWorkspace& ws) {
   check_phi(phi);
-  (void)waterfill_sqrt_into(available_rates, phi, out, ws);
+  static_cast<void>(waterfill_sqrt_into(available_rates, phi, out, ws));
   for (std::size_t i = 0; i < out.size(); ++i) {
     out[i] /= phi;
   }
+#if NASHLB_CHECK_ENABLED
+  // The reply the dynamics commits must be a strategy, i.e. a point of
+  // the probability simplex (paper constraint sum_i s_ji = 1, s_ji >= 0).
+  double sum = 0.0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    NASHLB_ENSURE(out[i] >= 0.0 && out[i] <= 1.0 + 1e-12,
+                  "reply fraction out[%zu]=%.17g outside [0, 1]", i, out[i]);
+    sum += out[i];
+  }
+  NASHLB_ENSURE(std::fabs(sum - 1.0) <= 1e-9 * static_cast<double>(out.size() + 1),
+                "reply fractions sum to %.17g, not 1", sum);
+#endif
 }
 
 std::vector<double> best_reply(const Instance& inst, const StrategyProfile& s,

@@ -11,6 +11,7 @@
 #include "core/equilibrium.hpp"
 #include "core/load_state.hpp"
 #include "stats/rng.hpp"
+#include "util/contracts.hpp"
 
 namespace nashlb::core {
 
@@ -80,6 +81,13 @@ DynamicsResult run(const Instance& inst, StrategyProfile profile,
                    std::vector<double> last_times,
                    const DynamicsOptions& options,
                    const RoundObserver& observer) {
+  // Stability (assumption A2): best replies only exist while the total
+  // demand leaves spare capacity. inst.validate() enforces this with an
+  // exception at the API boundary; the contract re-states it here where
+  // the iteration actually depends on it.
+  NASHLB_EXPECT(inst.total_arrival_rate() < inst.total_capacity(),
+                "Phi=%.17g >= sum mu=%.17g: no feasible profile exists",
+                inst.total_arrival_rate(), inst.total_capacity());
   const std::size_t m = inst.num_users();
   DynamicsResult result{std::move(profile), false, false, 0, {}, {}};
   const auto wall_start = std::chrono::steady_clock::now();
@@ -173,6 +181,15 @@ DynamicsResult run(const Instance& inst, StrategyProfile profile,
     }
   }
 
+  // A converged profile must be feasible in the paper's sense — every
+  // row on the simplex and every computer strictly stable. A violation
+  // here means the incremental state and the profile disagreed.
+  NASHLB_ENSURE(!result.converged || result.profile.is_feasible(inst, 1e-6),
+                "converged profile infeasible after %zu rounds (norm history "
+                "tail %.17g)",
+                result.iterations,
+                result.norm_history.empty() ? -1.0
+                                            : result.norm_history.back());
   result.user_times = user_response_times(inst, result.profile);
   return result;
 }

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/contracts.hpp"
+
 namespace nashlb::core {
 
 LoadState::LoadState(const Instance& inst, const StrategyProfile& s)
@@ -33,6 +35,20 @@ void LoadState::rebuild(const StrategyProfile& s) {
       lambda_[i] += row[i] * rate;
     }
   }
+  commits_since_check_ = 0;
+#if NASHLB_CHECK_ENABLED
+  // Stability (paper assumption A2): the aggregate load the profile
+  // places on the system must stay below the aggregate capacity. Rows
+  // at or below the simplex (sum_i s_ji <= 1) imply sum lambda <= Phi,
+  // so any valid instance satisfies this; a breach means lambda drifted
+  // past mu somewhere upstream.
+  double total_lambda = 0.0;
+  for (double l : lambda_) total_lambda += l;
+  const double total_mu = inst_->total_capacity();
+  NASHLB_INVARIANT(total_lambda < total_mu,
+                   "unstable loads: sum lambda=%.17g >= sum mu=%.17g",
+                   total_lambda, total_mu);
+#endif
 }
 
 void LoadState::available_rates(const StrategyProfile& s, std::size_t user,
@@ -58,12 +74,41 @@ void LoadState::commit_row(StrategyProfile& s, std::size_t user,
   if (new_row.size() != lambda_.size()) {
     throw std::invalid_argument("LoadState::commit_row: row size mismatch");
   }
+#if NASHLB_CHECK_ENABLED
+  // Simplex membership (paper constraint set): committing a row that
+  // leaves the simplex silently corrupts every later available-rate
+  // computation for *other* users.
+  double row_sum = 0.0;
+  for (std::size_t i = 0; i < new_row.size(); ++i) {
+    NASHLB_EXPECT(new_row[i] >= 0.0,
+                  "user %zu: strategy fraction s[%zu]=%.17g < 0", user, i,
+                  new_row[i]);
+    row_sum += new_row[i];
+  }
+  NASHLB_EXPECT(std::fabs(row_sum - 1.0) <= 1e-7,
+                "user %zu: strategy row sums to %.17g, not 1", user, row_sum);
+#endif
   const std::span<const double> old_row = s.row(user);
   const double rate = inst_->phi[user];
   for (std::size_t i = 0; i < lambda_.size(); ++i) {
     lambda_[i] += (new_row[i] - old_row[i]) * rate;
   }
   s.set_row(user, new_row);
+  if (util::kCheckEnabled && ++commits_since_check_ >= kConsistencyStride) {
+    assert_consistent(s);
+    commits_since_check_ = 0;
+  }
+}
+
+void LoadState::assert_consistent(const StrategyProfile& s,
+                                  [[maybe_unused]] double tol) const {
+  check_dimensions(s);
+#if NASHLB_CHECK_ENABLED
+  NASHLB_INVARIANT(max_drift(s) <= tol,
+                   "stale LoadState: carried lambda drifted %.17g from a "
+                   "from-scratch rebuild (tol %.3g)",
+                   max_drift(s), tol);
+#endif
 }
 
 double LoadState::user_response_time(const StrategyProfile& s,

@@ -72,11 +72,27 @@ class LoadState {
   /// recompute of `s`'s loads — O(m·n). Diagnostic for drift tests.
   [[nodiscard]] double max_drift(const StrategyProfile& s) const;
 
+  /// Contract hook: under -DNASHLB_CHECK=ON aborts if the carried lambda
+  /// has drifted more than `tol` from a from-scratch rebuild of `s`'s
+  /// loads (i.e. the state is stale — someone mutated the profile behind
+  /// the state's back). Compiled to a no-op otherwise. `commit_row`
+  /// calls this every `kConsistencyStride` commits in checked builds, so
+  /// Debug+check runs stay usable at O(m·n) every 64 O(n) commits.
+  void assert_consistent(const StrategyProfile& s, double tol = 1e-7) const;
+
+  /// Commit interval of the sampled consistency contract (checked
+  /// builds only).
+  static constexpr std::size_t kConsistencyStride = 64;
+
  private:
   void check_dimensions(const StrategyProfile& s) const;
 
   const Instance* inst_;
   std::vector<double> lambda_;
+  // Commit counter for the stride-sampled consistency contract. Present
+  // unconditionally so the class layout is identical whether or not a
+  // translation unit was compiled with NASHLB_CHECK_ENABLED.
+  std::size_t commits_since_check_ = 0;
 };
 
 }  // namespace nashlb::core

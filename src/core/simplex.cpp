@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/contracts.hpp"
+
 namespace nashlb::core {
 
 std::vector<double> project_to_simplex(std::span<const double> v,
@@ -44,6 +46,15 @@ std::vector<double> project_to_simplex(std::span<const double> v,
   for (std::size_t i = 0; i < v.size(); ++i) {
     out[i] = std::max(0.0, v[i] - theta);
   }
+#if NASHLB_CHECK_ENABLED
+  // The projection must land on the target simplex or the NBS solver's
+  // iterates drift off the feasible set one gradient step at a time.
+  double sum = 0.0;
+  for (double x : out) sum += x;
+  NASHLB_ENSURE(
+      std::fabs(sum - radius) <= 1e-9 * (1.0 + radius),
+      "projection sums to %.17g, radius %.17g", sum, radius);
+#endif
   return out;
 }
 

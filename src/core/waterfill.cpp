@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "util/contracts.hpp"
+
 namespace nashlb::core {
 namespace {
 
@@ -62,7 +64,41 @@ void update_order(std::span<const double> capacities,
     }
     ws.order[pos] = idx;
   }
+#if NASHLB_CHECK_ENABLED
+  // Every downstream cut decision assumes the workspace order is the
+  // strict decreasing-capacity total order; a stale order silently
+  // misplaces the Thm 2.1 cut.
+  for (std::size_t k = 1; k < n; ++k) {
+    NASHLB_INVARIANT(before(ws.order[k - 1], ws.order[k]),
+                     "workspace order not decreasing at rank %zu: "
+                     "c[%zu]=%.17g vs c[%zu]=%.17g",
+                     k, ws.order[k - 1], capacities[ws.order[k - 1]],
+                     ws.order[k], capacities[ws.order[k]]);
+  }
+#endif
 }
+
+#if NASHLB_CHECK_ENABLED
+/// Postcondition shared by both water-filling rules: the allocation is a
+/// point of the scaled simplex (lambda >= 0, sum = demand) that keeps
+/// every computer strictly stable (lambda_i < c_i when demand > 0).
+void check_allocation(std::span<const double> capacities, double demand,
+                      std::span<const double> lambda, const char* who) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < lambda.size(); ++i) {
+    NASHLB_ENSURE(lambda[i] >= 0.0, "%s: lambda[%zu]=%.17g < 0", who, i,
+                  lambda[i]);
+    NASHLB_ENSURE(lambda[i] <= capacities[i] + 1e-9 * (1.0 + capacities[i]),
+                  "%s: lambda[%zu]=%.17g exceeds capacity %.17g", who, i,
+                  lambda[i], capacities[i]);
+    sum += lambda[i];
+  }
+  const double tol = 1e-9 * (1.0 + demand);
+  NASHLB_ENSURE(std::fabs(sum - demand) <= tol,
+                "%s: allocation sums to %.17g, demand %.17g (tol %.3g)", who,
+                sum, demand, tol);
+}
+#endif
 
 }  // namespace
 
@@ -109,6 +145,21 @@ WaterfillInfo waterfill_sqrt_into(std::span<const double> capacities,
   }
   lambda_out[order[c - 1]] = demand - assigned;
   if (lambda_out[order[c - 1]] < 0.0) lambda_out[order[c - 1]] = 0.0;
+  // Thm 2.1 cut rule: the active set is exactly the prefix of the
+  // decreasing-capacity order with sqrt(c_i) > t; the first computer
+  // past the cut must fail that test or it was cut wrongly. The shrink
+  // loop compares against the pre-removal t and t only grows by ulps on
+  // re-evaluation, so allow an ulp-scale slack.
+  NASHLB_ENSURE(std::isfinite(t) && t >= 0.0,
+                "waterfill_sqrt: water level t=%.17g not finite/nonneg", t);
+  NASHLB_ENSURE(c == n || std::sqrt(capacities[order[c]]) <=
+                              t * (1.0 + 1e-12) + 1e-12,
+                "waterfill_sqrt: computer %zu past the cut (c=%zu) still has "
+                "sqrt(capacity)=%.17g > t=%.17g",
+                order[c], c, std::sqrt(capacities[order[c]]), t);
+#if NASHLB_CHECK_ENABLED
+  check_allocation(capacities, demand, lambda_out, "waterfill_sqrt");
+#endif
   return {demand == 0.0 ? 0 : c, t};
 }
 
@@ -144,6 +195,15 @@ WaterfillInfo waterfill_linear_into(std::span<const double> capacities,
   }
   lambda_out[order[c - 1]] = demand - assigned;
   if (lambda_out[order[c - 1]] < 0.0) lambda_out[order[c - 1]] = 0.0;
+  // Wardrop cut rule: active iff c_i > t under the same order (ulp-scale
+  // slack for the same pre-/post-removal t rounding as the sqrt rule).
+  NASHLB_ENSURE(c == n || capacities[order[c]] <= t * (1.0 + 1e-12) + 1e-12,
+                "waterfill_linear: computer %zu past the cut (c=%zu) still "
+                "has capacity %.17g > t=%.17g",
+                order[c], c, capacities[order[c]], t);
+#if NASHLB_CHECK_ENABLED
+  check_allocation(capacities, demand, lambda_out, "waterfill_linear");
+#endif
   return {demand == 0.0 ? 0 : c, t};
 }
 

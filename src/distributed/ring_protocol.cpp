@@ -10,6 +10,7 @@
 #include "core/load_state.hpp"
 #include "des/simulator.hpp"
 #include "distributed/monitor.hpp"
+#include "util/contracts.hpp"
 
 namespace nashlb::distributed {
 
@@ -69,6 +70,14 @@ void send_stop(const std::shared_ptr<ProtocolState>& st, std::size_t to) {
 }
 
 void update_user(const std::shared_ptr<ProtocolState>& st, std::size_t user) {
+  // Token sanity: a token addressed past the ring means the forwarding
+  // arithmetic broke; an update after the STOP wave would double-count.
+  NASHLB_EXPECT(user < st->inst.num_users(),
+                "token delivered to user %zu of a %zu-user ring", user,
+                st->inst.num_users());
+  NASHLB_EXPECT(st->round <= st->opts.max_rounds,
+                "token circulating in round %zu past max_rounds=%zu",
+                st->round, st->opts.max_rounds);
   // Inspect the run queues (O(n) off the incremental loads), apply the
   // monitor's noise model, reply, and commit — the same per-move sequence
   // as core::best_reply_dynamics, so exact monitoring reproduces the
@@ -84,6 +93,15 @@ void update_user(const std::shared_ptr<ProtocolState>& st, std::size_t user) {
 }
 
 void close_round(const std::shared_ptr<ProtocolState>& st) {
+  // The round norm is a sum of |D_j - D_j_prev| terms: nonnegative by
+  // construction, and finite under exact monitoring (a noisy monitor can
+  // legitimately overload a computer for a round, so only NaN — order of
+  // operations gone wrong — is a contract breach there).
+  NASHLB_INVARIANT(st->norm >= 0.0 &&
+                       (std::isfinite(st->norm) ||
+                        (st->opts.noise_sigma > 0.0 && !std::isnan(st->norm))),
+                   "round %zu closed with norm=%.17g (noise_sigma=%.3g)",
+                   st->round, st->norm, st->opts.noise_sigma);
   st->result.norm_history.push_back(st->norm);
   st->result.rounds = st->round;
   if (obs::kEnabled && st->opts.trace) {
