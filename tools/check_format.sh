@@ -1,0 +1,37 @@
+#!/bin/sh
+# Check-only formatting gate: clang-format --dry-run over every
+# first-party source against the repo's .clang-format. Never rewrites
+# files — run `clang-format -i` yourself to apply. Registered as the
+# `check_format` ctest so tidy fixes can't drift the formatting.
+#
+# Exit codes: 0 clean, 1 needs formatting, 77 skipped (no clang-format
+# on PATH; ctest maps 77 to SKIP via SKIP_RETURN_CODE).
+#
+# Usage: tools/check_format.sh [repo-root]
+set -u
+
+root=${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}
+
+fmt=""
+for cand in clang-format clang-format-18 clang-format-17 clang-format-16 \
+            clang-format-15 clang-format-14; do
+    if command -v "$cand" > /dev/null 2>&1; then
+        fmt=$cand
+        break
+    fi
+done
+if [ -z "$fmt" ]; then
+    echo "check_format: SKIP: no clang-format on PATH" >&2
+    exit 77
+fi
+
+files=$(find "$root/src" "$root/tests" "$root/bench" "$root/examples" \
+        \( -name '*.cpp' -o -name '*.hpp' \) 2> /dev/null | sort)
+[ -n "$files" ] || { echo "check_format: FAIL: no sources found" >&2; exit 1; }
+
+if echo "$files" | xargs "$fmt" --dry-run --Werror --style=file 2>&1; then
+    echo "check_format: OK ($(echo "$files" | wc -l | tr -d ' ') files)"
+    exit 0
+fi
+echo "check_format: FAIL: run '$fmt -i' on the files above" >&2
+exit 1

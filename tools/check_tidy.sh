@@ -1,0 +1,59 @@
+#!/bin/sh
+# clang-tidy over every first-party translation unit, driven by the
+# compile_commands.json the build exports (CMAKE_EXPORT_COMPILE_COMMANDS
+# is always on). Registered as the `check_tidy` ctest; the check profile
+# lives in .clang-tidy at the repo root (bugprone/performance/analyzer
+# families + narrowing + a modernize subset, warnings-as-errors).
+#
+# Exit codes: 0 clean, 1 findings, 77 skipped (no clang-tidy on PATH —
+# ctest treats 77 as SKIP via SKIP_RETURN_CODE, so machines without the
+# LLVM toolchain don't fail the suite; the gcc -Werror baseline still
+# runs everywhere).
+#
+# Usage: tools/check_tidy.sh [repo-root [build-dir]]
+#   repo-root  default: the script's parent directory
+#   build-dir  default: <repo-root>/build (must contain compile_commands.json)
+set -u
+
+root=${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}
+build=${2:-$root/build}
+
+tidy=""
+for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+            clang-tidy-15 clang-tidy-14; do
+    if command -v "$cand" > /dev/null 2>&1; then
+        tidy=$cand
+        break
+    fi
+done
+if [ -z "$tidy" ]; then
+    echo "check_tidy: SKIP: no clang-tidy on PATH" >&2
+    exit 77
+fi
+
+if [ ! -f "$build/compile_commands.json" ]; then
+    echo "check_tidy: FAIL: $build/compile_commands.json not found;" \
+         "configure with cmake -B $build -S $root first" >&2
+    exit 1
+fi
+
+# First-party sources only: the build tree and external deps are not ours
+# to lint. Benches and examples compile against the same headers, so the
+# header-filter covers them via their includes.
+files=$(find "$root/src" "$root/tests" "$root/bench" "$root/examples" \
+        -name '*.cpp' 2> /dev/null | sort)
+[ -n "$files" ] || { echo "check_tidy: FAIL: no sources found" >&2; exit 1; }
+
+jobs=$(nproc 2> /dev/null || echo 4)
+echo "check_tidy: running $tidy over $(echo "$files" | wc -l | tr -d ' ')" \
+     "files ($jobs-way parallel)"
+# xargs fans the file list out; clang-tidy exits nonzero per file with
+# findings (WarningsAsErrors: '*'), and xargs folds that into its own
+# nonzero exit.
+if echo "$files" | xargs -P "$jobs" -n 8 "$tidy" -p "$build" --quiet; then
+    echo "check_tidy: OK"
+    exit 0
+fi
+echo "check_tidy: FAIL: findings above (suppression policy:" \
+     "docs/STATIC_ANALYSIS.md)" >&2
+exit 1

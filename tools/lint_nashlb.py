@@ -1,0 +1,265 @@
+#!/usr/bin/env python3
+"""Repo-specific lint rules the generic tools can't see.
+
+Registered as the `lint_nashlb` ctest. Three rules, each encoding a
+convention this repository's performance or observability story depends
+on (see docs/STATIC_ANALYSIS.md):
+
+  alloc-in-hot-path
+      The allocating public APIs (`best_reply`, `waterfill_sqrt`,
+      `waterfill_linear`, `optimal_fractions`) must not be called from
+      `_into` fast-path function bodies, nor anywhere in the hot-loop
+      files (core/dynamics.cpp, distributed/ring_protocol.cpp). The
+      whole point of the `_into` layer is that a steady-state best-reply
+      round performs zero heap allocations; one stray wrapper call
+      silently reintroduces O(n) allocations per move and no compiler
+      warning will ever say so.
+
+  bench-registered
+      Every bench/bench_*.cpp must be named in EXPERIMENTS.md so the
+      artifact-regeneration map stays complete — an unregistered bench
+      is a result nobody can reproduce from the docs.
+
+  trace-arity
+      In any src/ file that defines a `*_trace_columns()` schema, every
+      `record({...})` call in that file must pass exactly as many cells
+      as the schema declares columns. The TraceSink enforces this at
+      runtime, but only on traced runs — this catches the skew at lint
+      time, before a benchmark burns an hour to produce a malformed CSV.
+
+Suppression: append `// nashlb-lint: allow(<rule>)` (with a reason) on
+the offending line or the line above it.
+
+Usage: tools/lint_nashlb.py [repo-root]   Exit: 0 clean, 1 findings.
+"""
+
+import os
+import re
+import sys
+
+ALLOC_APIS = ("best_reply", "waterfill_sqrt", "waterfill_linear",
+              "optimal_fractions")
+ALLOC_RE = re.compile(r"\b(?:%s)\s*\(" % "|".join(ALLOC_APIS))
+HOT_FILES = (
+    os.path.join("src", "core", "dynamics.cpp"),
+    os.path.join("src", "distributed", "ring_protocol.cpp"),
+)
+INTO_DEF_RE = re.compile(r"\b(\w+_into)\s*\(")
+SUPPRESS_RE = re.compile(r"nashlb-lint:\s*allow\(([\w-]+)\)")
+
+errors = []
+
+
+def report(path, lineno, rule, message):
+    errors.append("%s:%d: [%s] %s" % (path, lineno, rule, message))
+
+
+def suppressed(lines, idx, rule):
+    for probe in (idx, idx - 1):
+        if probe < 0:
+            continue
+        m = SUPPRESS_RE.search(lines[probe])
+        if m and m.group(1) == rule:
+            return True
+    return False
+
+
+def strip_comments_and_strings(line):
+    """Blanks out // comments and string literal contents so regexes
+    don't match inside them (keeps column positions stable)."""
+    out = []
+    i, n = 0, len(line)
+    in_str = None
+    while i < n:
+        ch = line[i]
+        if in_str:
+            if ch == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if ch == in_str:
+                in_str = None
+                out.append(ch)
+            else:
+                out.append(" ")
+            i += 1
+            continue
+        if ch in "\"'":
+            in_str = ch
+            out.append(ch)
+        elif ch == "/" and i + 1 < n and line[i + 1] == "/":
+            out.append(" " * (n - i))
+            break
+        else:
+            out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def check_alloc_in_hot_path(root, relpath, lines):
+    is_hot_file = relpath in HOT_FILES
+    code = [strip_comments_and_strings(l) for l in lines]
+    depth = 0
+    into_fn = None       # name of the _into function whose body we're in
+    into_depth = 0       # brace depth outside that function
+    body_open = False    # body '{' seen yet (signature may span lines)
+    for idx, line in enumerate(code):
+        if into_fn is None:
+            m = INTO_DEF_RE.search(line)
+            # A definition introduces a body; a declaration ends in ';'
+            # on the same or a following line before any '{'. Treat the
+            # match as a definition lazily: we only arm the check once a
+            # '{' is seen before a ';'.
+            if m:
+                rest = "".join(code[idx:idx + 8])
+                brace, semi = rest.find("{"), rest.find(";")
+                if brace != -1 and (semi == -1 or brace < semi):
+                    into_fn = m.group(1)
+                    into_depth = depth
+                    body_open = False
+        in_scope = is_hot_file or (into_fn is not None and
+                                   depth > into_depth)
+        if in_scope:
+            for m in ALLOC_RE.finditer(line):
+                name = line[m.start():m.end() - 1].strip()
+                if suppressed(lines, idx, "alloc-in-hot-path"):
+                    continue
+                where = ("hot file" if is_hot_file
+                         else "body of %s" % into_fn)
+                report(relpath, idx + 1, "alloc-in-hot-path",
+                       "allocating API %s() called in %s; use the _into "
+                       "variant with a workspace" % (name, where))
+        depth += line.count("{") - line.count("}")
+        if into_fn is not None:
+            if depth > into_depth:
+                body_open = True
+            elif body_open:
+                into_fn = None
+
+
+def check_bench_registered(root):
+    exp_path = os.path.join(root, "EXPERIMENTS.md")
+    try:
+        with open(exp_path, encoding="utf-8") as f:
+            experiments = f.read()
+    except OSError:
+        report("EXPERIMENTS.md", 1, "bench-registered", "file missing")
+        return
+    bench_dir = os.path.join(root, "bench")
+    for name in sorted(os.listdir(bench_dir)):
+        if not (name.startswith("bench_") and name.endswith(".cpp")):
+            continue
+        stem = name[:-len(".cpp")]
+        if stem not in experiments:
+            report(os.path.join("bench", name), 1, "bench-registered",
+                   "%s is not mentioned in EXPERIMENTS.md (add it to the "
+                   "CSV-regeneration map)" % stem)
+
+
+def parse_balanced(text, start):
+    """Returns (content, end) for the balanced (...) starting at
+    text[start] == '('."""
+    depth = 0
+    for i in range(start, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return text[start + 1:i], i
+    return None, None
+
+
+def count_cells(arg):
+    """Number of top-level cells in a `{a, b, c}` braced list."""
+    arg = arg.strip()
+    if not arg.startswith("{"):
+        return None
+    depth = 0
+    cells = 1
+    in_str = None
+    prev = ""
+    for ch in arg:
+        if in_str:
+            if ch == in_str and prev != "\\":
+                in_str = None
+        elif ch in "\"'":
+            in_str = ch
+        elif ch in "({[":
+            depth += 1
+        elif ch in ")}]":
+            depth -= 1
+        elif ch == "," and depth == 1:
+            cells += 1
+        prev = ch
+    return cells
+
+
+def check_trace_arity(root, relpath, text, lines):
+    decl = re.search(r"(\w+_trace_columns)\s*\(\)\s*\{", text)
+    if not decl:
+        return
+    # Columns: string literals inside the braced return list.
+    body_start = text.index("{", decl.start())
+    ret = re.search(r"return\s*\{", text[body_start:])
+    if not ret:
+        report(relpath, 1, "trace-arity",
+               "%s has no braced return list" % decl.group(1))
+        return
+    brace_open = body_start + ret.end() - 1
+    depth = 0
+    for i in range(brace_open, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                break
+    columns = len(re.findall(r'"[^"]*"', text[brace_open:i + 1]))
+    # Every record(...) call in the same file must pass `columns` cells.
+    for m in re.finditer(r"\brecord\s*\(", text):
+        arg, end = parse_balanced(text, m.end() - 1)
+        if arg is None:
+            continue
+        cells = count_cells(arg)
+        lineno = text.count("\n", 0, m.start()) + 1
+        if suppressed(lines, lineno - 1, "trace-arity"):
+            continue
+        if cells is None:
+            report(relpath, lineno, "trace-arity",
+                   "record() argument is not a braced cell list; cannot "
+                   "check arity against %s (suppress with a comment if "
+                   "intentional)" % decl.group(1))
+        elif cells != columns:
+            report(relpath, lineno, "trace-arity",
+                   "record() passes %d cells but %s declares %d columns"
+                   % (cells, decl.group(1), columns))
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    src_files = []
+    for base, _dirs, names in os.walk(os.path.join(root, "src")):
+        for name in sorted(names):
+            if name.endswith(".cpp") or name.endswith(".hpp"):
+                src_files.append(os.path.join(base, name))
+    for path in sorted(src_files):
+        relpath = os.path.relpath(path, root)
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        lines = text.split("\n")
+        check_alloc_in_hot_path(root, relpath, lines)
+        check_trace_arity(root, relpath, text, lines)
+    check_bench_registered(root)
+
+    if errors:
+        for e in errors:
+            print("lint_nashlb: FAIL: " + e, file=sys.stderr)
+        return 1
+    print("lint_nashlb: OK (%d src files, 3 rules)" % len(src_files))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
