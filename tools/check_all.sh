@@ -1,0 +1,74 @@
+#!/bin/sh
+# Run every quality gate in sequence — the local equivalent of a full CI
+# pass (docs/STATIC_ANALYSIS.md documents each gate). Order is cheapest
+# first so a drift failure surfaces in seconds, not after two builds:
+#
+#   1. check_docs      README/docs drift                      (~0 s)
+#   2. lint_nashlb     repo-specific rules (python3)          (~0 s)
+#   3. check_format    clang-format check-only      (SKIP if absent)
+#   4. -Werror build   full tree, warnings as errors (build-werror/)
+#   5. check_tidy      clang-tidy over that tree    (SKIP if absent)
+#   6. contract build  -DNASHLB_CHECK=ON + full ctest (build-check/)
+#   7. check_sanitize  ASan+UBSan with contracts on   (build-asan/)
+#
+# Tool-gated steps (3, 5) are skipped, not failed, on machines without
+# the LLVM tools — same convention as their ctest registrations.
+#
+# Usage: tools/check_all.sh [repo-root]   (default: script's parent dir)
+set -eu
+
+root=${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}
+jobs=$(nproc 2> /dev/null || echo 4)
+skipped=""
+
+step() {
+    printf '\n== check_all: %s ==\n' "$1"
+}
+
+# Exit-77 wrapper: runs a gate whose script may SKIP itself.
+run_skippable() {
+    name=$1
+    shift
+    if "$@"; then
+        return 0
+    elif [ "$?" -eq 77 ]; then
+        skipped="$skipped $name"
+        return 0
+    else
+        echo "check_all: FAIL in $name" >&2
+        exit 1
+    fi
+}
+
+step "check_docs (README/docs drift)"
+"$root/tools/check_docs.sh" "$root"
+
+step "lint_nashlb (repo-specific rules)"
+python3 "$root/tools/lint_nashlb.py" "$root"
+
+step "check_format (clang-format, check-only)"
+run_skippable check_format "$root/tools/check_format.sh" "$root"
+
+step "warnings-as-errors build (build-werror/)"
+cmake -B "$root/build-werror" -S "$root" -DNASHLB_WERROR=ON
+cmake --build "$root/build-werror" -j "$jobs"
+
+step "check_tidy (clang-tidy over build-werror/)"
+run_skippable check_tidy \
+    "$root/tools/check_tidy.sh" "$root" "$root/build-werror"
+
+step "contract build + full suite (-DNASHLB_CHECK=ON, build-check/)"
+cmake -B "$root/build-check" -S "$root" \
+  -DNASHLB_CHECK=ON -DNASHLB_WERROR=ON \
+  -DNASHLB_BUILD_BENCH=OFF -DNASHLB_BUILD_EXAMPLES=OFF
+cmake --build "$root/build-check" -j "$jobs"
+# (subshell cd, not `ctest --test-dir`: that flag needs CMake >= 3.20
+# and the project supports 3.16)
+(cd "$root/build-check" && ctest --output-on-failure -j "$jobs")
+
+step "check_sanitize (ASan+UBSan, contracts on)"
+"$root/tools/check_sanitize.sh" "$root"
+
+printf '\ncheck_all: OK'
+[ -z "$skipped" ] || printf ' (skipped:%s — LLVM tools not on PATH)' "$skipped"
+printf '\n'

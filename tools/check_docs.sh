@@ -4,7 +4,8 @@
 # Fails if:
 #   * a src/<module>/ directory has no `<module>` row in README.md's
 #     Architecture table;
-#   * docs/OBSERVABILITY.md is missing, or README.md does not link it.
+#   * docs/OBSERVABILITY.md or docs/STATIC_ANALYSIS.md is missing, or
+#     README.md does not link it.
 #
 # Usage: tools/check_docs.sh [repo-root]   (default: script's parent dir)
 set -u
@@ -29,12 +30,15 @@ for dir in "$root"/src/*/; do
     fi
 done
 
-# The observability docs must exist and be reachable from the README.
-if [ ! -f "$root/docs/OBSERVABILITY.md" ]; then
-    fail "docs/OBSERVABILITY.md is missing"
-elif ! grep -q "docs/OBSERVABILITY.md" "$readme"; then
-    fail "README.md does not link docs/OBSERVABILITY.md"
-fi
+# The observability and static-analysis docs must exist and be
+# reachable from the README.
+for doc in OBSERVABILITY STATIC_ANALYSIS; do
+    if [ ! -f "$root/docs/$doc.md" ]; then
+        fail "docs/$doc.md is missing"
+    elif ! grep -q "docs/$doc.md" "$readme"; then
+        fail "README.md does not link docs/$doc.md"
+    fi
+done
 
 if [ "$status" -eq 0 ]; then
     echo "check_docs: OK ($(ls -d "$root"/src/*/ | wc -l | tr -d ' ') modules documented)"

@@ -9,6 +9,14 @@
 # exactly the kind of code sanitizers exist for — run this after touching
 # any of those paths.
 #
+# The tree is configured with -DNASHLB_CHECK=ON so the paper-invariant
+# contract layer (docs/STATIC_ANALYSIS.md) is active under the
+# sanitizers: a contract abort()s, which lets ASan flush its report and
+# point at the violating frame — the two layers are designed to stack.
+# This also keeps the contract-enabled configuration itself under
+# sanitizer coverage (the checked build audits extra state, e.g. the
+# stride-64 LoadState consistency rebuild).
+#
 # Usage: tools/check_sanitize.sh [repo-root]   (default: script's parent dir)
 set -eu
 
@@ -17,13 +25,22 @@ build="$root/build-asan"
 
 cmake -B "$build" -S "$root" \
   -DNASHLB_SANITIZE=ON \
+  -DNASHLB_CHECK=ON \
   -DNASHLB_BUILD_BENCH=OFF \
   -DNASHLB_BUILD_EXAMPLES=OFF
-cmake --build "$build" --target test_core -j "$(nproc 2>/dev/null || echo 4)"
+cmake --build "$build" --target test_core --target test_util \
+  -j "$(nproc 2>/dev/null || echo 4)"
 
 # halt_on_error is already the default via -fno-sanitize-recover=all;
 # detect_leaks exercises the allocation-free claim of the fast paths.
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
   "$build/tests/test_core"
 
-echo "check_sanitize: OK (test_core clean under ASan+UBSan)"
+# test_util carries the contract death tests: each one forks, trips a
+# seeded violation and expects the child to abort — under ASan this
+# verifies the whole failure path (report formatting included) is clean.
+ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+  "$build/tests/test_util"
+
+echo "check_sanitize: OK (test_core + test_util clean under" \
+     "ASan+UBSan with NASHLB_CHECK=ON)"
