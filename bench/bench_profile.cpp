@@ -14,10 +14,18 @@
 //     aggregate job throughput;
 //   * the DES kernel + facility counters for a canonical M/M/1 run.
 //
+// The per-scheme solve times are collected in an obs::Histogram, so the
+// baseline carries the latency *distribution* (p50/p95/p99), not just min
+// and mean — tools/check_bench.py gates regressions against these columns.
+// The NASH_P dynamics run additionally records a span trace (per-round
+// spans enclosing per-user best-reply spans) exported as Chrome
+// trace-event JSON for chrome://tracing / Perfetto.
+//
 // Outputs (all under bench_results/):
 //   profile_baseline.csv      one row per scheme (the headline artifact)
 //   profile_nash_trace.csv    per-iteration NASH_P and NASH_0 traces
 //   profile_nash_trace.jsonl  the NASH_P trace as JSON-lines
+//   profile_nash_spans.json   NASH_P round/reply spans (Chrome trace JSON)
 //   profile_replications.csv  per-replication wall/sim time and jobs
 //   profile_des_counters.csv  DES kernel/facility counters and timers
 #include <cstdio>
@@ -44,23 +52,23 @@
 namespace {
 
 constexpr double kUtilization = 0.6;
-constexpr int kSolveRepeats = 5;
+constexpr int kSolveRepeats = 25;
 
-/// Times `repeats` solves of `scheme` and returns (min, mean) seconds.
-std::pair<double, double> time_solves(const nashlb::schemes::Scheme& scheme,
-                                      const nashlb::core::Instance& inst,
-                                      int repeats) {
+/// Times `repeats` solves of `scheme` into a latency histogram (enough
+/// samples for the p50/p95/p99 columns to be meaningful).
+nashlb::obs::Histogram time_solves(const nashlb::schemes::Scheme& scheme,
+                                   const nashlb::core::Instance& inst,
+                                   int repeats) {
   using namespace nashlb;
+  obs::Histogram hist;
   obs::Timer timer;
-  double min_s = 0.0;
   for (int r = 0; r < repeats; ++r) {
     obs::ScopedTimer scope(timer);
     const core::StrategyProfile p = scheme.solve(inst);
     (void)p;
-    const double s = scope.elapsed_seconds();
-    if (r == 0 || s < min_s) min_s = s;
+    hist.record(scope.elapsed_seconds());
   }
-  return {min_s, timer.mean_seconds()};
+  return hist;
 }
 
 }  // namespace
@@ -74,18 +82,19 @@ int main() {
   const core::Instance inst = workload::table1_instance(kUtilization);
 
   // --- Section 1: per-scheme solver baseline -----------------------------
-  util::Table table({"scheme", "solve min (s)", "solve mean (s)",
-                     "iterations", "best-reply gap (s)", "overall D (s)",
-                     "fairness"});
+  util::Table table({"scheme", "solve min (s)", "solve p50 (s)",
+                     "solve p99 (s)", "iterations", "best-reply gap (s)",
+                     "overall D (s)", "fairness"});
   auto baseline = bench::csv(
       "profile_baseline",
-      {"scheme", "solve_seconds_min", "solve_seconds_mean", "iterations",
-       "best_reply_gap", "overall_response", "fairness"});
+      {"scheme", "solve_seconds_min", "solve_seconds_mean",
+       "solve_seconds_p50", "solve_seconds_p95", "solve_seconds_p99",
+       "iterations", "best_reply_gap", "overall_response", "fairness"});
   for (const std::string& name : schemes::registered_scheme_names()) {
     const schemes::SchemePtr scheme = schemes::make_scheme(name);
     // Warm-up solve (page in code/data), then timed repeats.
     const core::StrategyProfile profile = scheme->solve(inst);
-    const auto [min_s, mean_s] = time_solves(*scheme, inst, kSolveRepeats);
+    const obs::Histogram solve_hist = time_solves(*scheme, inst, kSolveRepeats);
 
     // Iteration count: the NASH variants iterate best replies; every other
     // registered scheme is a one-shot closed-form/convex solve.
@@ -98,12 +107,17 @@ int main() {
     const double gap = core::max_best_reply_gain(inst, profile);
     const schemes::Metrics metrics = schemes::evaluate(inst, profile);
 
-    table.add_row({name, bench::num(min_s), bench::num(mean_s),
+    table.add_row({name, bench::num(solve_hist.min()),
+                   bench::num(solve_hist.p50()), bench::num(solve_hist.p99()),
                    std::to_string(iterations), bench::num(gap),
                    bench::num(metrics.overall_response_time),
                    bench::num(metrics.fairness)});
     if (baseline) {
-      baseline->add_row({name, bench::num(min_s), bench::num(mean_s),
+      baseline->add_row({name, bench::num(solve_hist.min()),
+                         bench::num(solve_hist.mean()),
+                         bench::num(solve_hist.p50()),
+                         bench::num(solve_hist.quantile(0.95)),
+                         bench::num(solve_hist.p99()),
                          std::to_string(iterations), bench::num(gap),
                          bench::num(metrics.overall_response_time),
                          bench::num(metrics.fairness)});
@@ -121,9 +135,12 @@ int main() {
   dyn_opts.max_iterations = 500;
 
   obs::TraceSink trace_p(core::dynamics_trace_columns());
+  obs::SpanTracer spans_p;
   dyn_opts.init = core::Initialization::Proportional;
   dyn_opts.trace = &trace_p;
+  dyn_opts.spans = &spans_p;
   const core::DynamicsResult rp = core::best_reply_dynamics(inst, dyn_opts);
+  dyn_opts.spans = nullptr;
 
   obs::TraceSink trace_0(core::dynamics_trace_columns());
   dyn_opts.init = core::Initialization::Zero;
@@ -148,6 +165,13 @@ int main() {
     mirror("NASH_0", trace_0);
   }
   trace_p.write_jsonl("bench_results/profile_nash_trace.jsonl");
+  if (obs::kEnabled) {
+    spans_p.write_chrome_trace("bench_results/profile_nash_spans.json");
+    std::printf(
+        "NASH_P span trace: %zu spans (load bench_results/"
+        "profile_nash_spans.json in chrome://tracing or Perfetto)\n",
+        spans_p.size());
+  }
 
   // Read the norms back out of the traces (falls back to the in-result
   // history in an obs-disabled build, where the sink records nothing).

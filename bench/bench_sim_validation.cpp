@@ -7,10 +7,21 @@
 // analytic expected response time. The paper's acceptance criterion —
 // "standard error less than 5% at the 95% confidence level" — is checked
 // and printed.
+//
+// A second section validates the *distribution*, not just the mean: the
+// per-computer sojourn histograms (obs::Histogram, merged across
+// replications) of the NASH profile are compared at p50/p90/p99 against
+// the exact M/M/1 sojourn quantile -ln(1-q)/(mu_i - lambda_i). Mirrored
+// to sim_sojourn_quantiles.csv; tolerance 10% (15% at p99, where the
+// per-computer sample of the tail is thinner).
+#include <cmath>
 #include <cstdio>
+#include <optional>
+#include <vector>
 
 #include "common.hpp"
 #include "core/cost.hpp"
+#include "obs/histogram.hpp"
 #include "schemes/registry.hpp"
 #include "simmodel/replication.hpp"
 #include "workload/configs.hpp"
@@ -29,6 +40,9 @@ int main() {
                         {"scheme", "analytic", "simulated", "ci_half_width",
                          "relative_error"});
 
+  std::optional<core::StrategyProfile> nash_profile;
+  simmodel::ReplicatedResult nash_sim;
+
   for (const schemes::SchemePtr& scheme : schemes::paper_schemes(1e-6)) {
     const core::StrategyProfile profile = scheme->solve(inst);
     const double analytic = core::overall_response_time(inst, profile);
@@ -39,6 +53,10 @@ int main() {
     cfg.replications = 5;
     const simmodel::ReplicatedResult sim =
         simmodel::replicate(inst, profile, cfg);
+    if (scheme->name() == "NASH_P") {
+      nash_profile = profile;
+      nash_sim = sim;
+    }
 
     const double rel_err =
         std::abs(sim.overall_response.mean - analytic) / analytic;
@@ -60,5 +78,58 @@ int main() {
                 static_cast<unsigned long long>(sim.total_jobs));
   }
   std::printf("\n%s\n", table.str().c_str());
+
+  // --- Sojourn-time quantiles (NASH profile) -----------------------------
+  // Each computer is M/M/1, so its sojourn time is Exponential with rate
+  // mu_i - lambda_i and exact quantile -ln(1-q)/(mu_i - lambda_i). The
+  // simulated quantiles come from the per-facility obs::Histogram, merged
+  // across replications. Skipped in an obs-disabled build (the histograms
+  // are no-op twins there).
+  if (obs::kEnabled && nash_profile.has_value()) {
+    const std::size_t n = inst.num_computers();
+    std::vector<obs::Histogram> merged(n);
+    for (const simmodel::SimRunResult& run : nash_sim.runs) {
+      for (std::size_t i = 0; i < n; ++i) {
+        merged[i].merge(run.computer_sojourn[i]);
+      }
+    }
+
+    util::Table qtable({"computer", "lambda (1/s)", "q", "exact (s)",
+                        "simulated (s)", "rel. error", "<tol?"});
+    auto qcsv = bench::csv("sim_sojourn_quantiles",
+                           {"computer", "lambda", "mu", "q", "exact",
+                            "simulated", "relative_error"});
+    const double quantiles[] = {0.50, 0.90, 0.99};
+    bool all_ok = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      double lambda = 0.0;
+      for (std::size_t j = 0; j < inst.num_users(); ++j) {
+        lambda += nash_profile->at(j, i) * inst.phi[j];
+      }
+      if (merged[i].count() == 0) continue;  // unused computer
+      for (double q : quantiles) {
+        const double exact = -std::log1p(-q) / (inst.mu[i] - lambda);
+        const double simulated = merged[i].quantile(q);
+        const double rel_err = std::abs(simulated - exact) / exact;
+        const double tol = q > 0.95 ? 0.15 : 0.10;
+        const bool ok = rel_err < tol;
+        all_ok = all_ok && ok;
+        qtable.add_row({std::to_string(i), bench::num(lambda), bench::num(q),
+                        bench::num(exact), bench::num(simulated),
+                        util::format_percent(rel_err, 2), ok ? "yes" : "NO"});
+        if (qcsv) {
+          qcsv->add_row({std::to_string(i), bench::num(lambda),
+                         bench::num(inst.mu[i]), bench::num(q),
+                         bench::num(exact), bench::num(simulated),
+                         bench::num(rel_err)});
+        }
+      }
+    }
+    std::printf(
+        "NASH sojourn quantiles vs exact M/M/1 (tolerance 10%%, 15%% at "
+        "p99): %s\n%s\n",
+        all_ok ? "all within tolerance" : "VIOLATIONS above",
+        qtable.str().c_str());
+  }
   return 0;
 }

@@ -114,6 +114,11 @@ DynamicsResult run(const Instance& inst, StrategyProfile profile,
                           options.order == UpdateOrder::RandomOrder;
   for (std::size_t round = 1; round <= options.max_iterations; ++round) {
     if (round > 1 && sequential) state.rebuild(result.profile);
+    obs::SpanId round_span{};
+    if (obs::kEnabled && options.spans) {
+      round_span = options.spans->begin("round", "dynamics", 0,
+                                        static_cast<std::int64_t>(round));
+    }
     double norm = 0.0;
     if (sequential) {
       if (options.order == UpdateOrder::RandomOrder) {
@@ -125,12 +130,18 @@ DynamicsResult run(const Instance& inst, StrategyProfile profile,
       }
       for (std::size_t idx = 0; idx < m; ++idx) {
         const std::size_t j = order[idx];
+        obs::SpanId reply_span{};
+        if (obs::kEnabled && options.spans) {
+          reply_span = options.spans->begin("reply", "dynamics", 0,
+                                            static_cast<std::int64_t>(j));
+        }
         const std::span<const double> reply =
             best_reply_into(inst, result.profile, state, j, ws);
         state.commit_row(result.profile, j, reply);
         const double d = state.user_response_time(result.profile, j);
         norm += std::fabs(d - last_times[j]);
         last_times[j] = d;
+        if (obs::kEnabled && options.spans) options.spans->end(reply_span);
       }
     } else {
       // Jacobi: all replies against the round-(l-1) profile. The state's
@@ -138,8 +149,14 @@ DynamicsResult run(const Instance& inst, StrategyProfile profile,
       // available rates need only the frozen loads and its own not-yet-
       // replaced row, so no copy of the profile is made.
       for (std::size_t j = 0; j < m; ++j) {
+        obs::SpanId reply_span{};
+        if (obs::kEnabled && options.spans) {
+          reply_span = options.spans->begin("reply", "dynamics", 0,
+                                            static_cast<std::int64_t>(j));
+        }
         result.profile.set_row(
             j, best_reply_into(inst, result.profile, state, j, ws));
+        if (obs::kEnabled && options.spans) options.spans->end(reply_span);
       }
       state.rebuild(result.profile);
       // The combined move can overload computers; detect and stop.
@@ -163,6 +180,7 @@ DynamicsResult run(const Instance& inst, StrategyProfile profile,
                        certificates_due(options, round), round, norm,
                        wall_seconds());
         }
+        if (obs::kEnabled && options.spans) options.spans->end(round_span);
         return result;
       }
     }
@@ -174,6 +192,7 @@ DynamicsResult run(const Instance& inst, StrategyProfile profile,
                    certificates_due(options, round), round, norm,
                    wall_seconds());
     }
+    if (obs::kEnabled && options.spans) options.spans->end(round_span);
     if (observer) observer(round, result.profile, norm);
     if (norm <= options.tolerance) {
       result.converged = true;

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 namespace nashlb::core {
@@ -67,6 +68,12 @@ struct DynamicsOptions {
   /// large system, where the certificates cost more than the round they
   /// certify. Ignored when `trace` is null.
   std::size_t certificate_stride = 1;
+  /// Optional span tracer (not owned, may be null): each round becomes a
+  /// "round" span (id = round index) enclosing one "reply" span per user
+  /// update (id = user index). Export with
+  /// SpanTracer::write_chrome_trace for chrome://tracing / Perfetto. A
+  /// no-op when the obs layer is compiled out.
+  obs::SpanTracer* spans = nullptr;
 };
 
 /// Outcome of a run of the dynamics.

@@ -86,6 +86,7 @@ void Facility::finish_service(unsigned server, SimTime t) {
   slot.job.reset();
   --busy_;
   ++completed_;
+  sojourn_hist_.record(t - job.submitted);
   note_busy_change();
   // Dispatch the next waiting job before running the completion callback:
   // the callback may submit new work and must observe a settled facility.
@@ -158,7 +159,9 @@ void Facility::publish_metrics(obs::Registry& reg, SimTime now) const {
   reg.timer(name_ + ".busy_time").add_batch(busy_tw_.average(now) * now,
                                             completed_);
   reg.timer(name_ + ".waiting")
-      .add_batch(wait_stats_.sum(), wait_stats_.count());
+      .add_batch(wait_stats_.sum(), wait_stats_.count(), wait_stats_.min(),
+                 wait_stats_.max());
+  reg.histogram(name_ + ".sojourn").merge(sojourn_hist_);
 }
 
 }  // namespace nashlb::des

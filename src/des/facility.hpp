@@ -85,12 +85,21 @@ class Facility {
     return wait_stats_;
   }
 
+  /// Per-job sojourn (response) time distribution: request to service
+  /// completion, one observation per completed job. For the paper's
+  /// single-server FCFS facility this is the M/M/1 response time whose
+  /// quantiles bench_sim_validation checks against -ln(1-q)/(mu-lambda).
+  /// Empty when the obs layer is compiled out.
+  [[nodiscard]] const obs::Histogram& sojourn_histogram() const noexcept {
+    return sojourn_hist_;
+  }
+
   /// Publishes this facility's counters and accumulated times into `reg`
   /// under `<name>.*`: requests, completed, preemptions (counters);
   /// busy_time (timer: busy server-seconds over [0, now], one observation
-  /// per completed job) and waiting (timer: total queueing delay over all
-  /// jobs that ever started service). A no-op when the obs layer is
-  /// compiled out.
+  /// per completed job), waiting (timer: total queueing delay over all
+  /// jobs that ever started service), and sojourn (histogram: per-job
+  /// response times). A no-op when the obs layer is compiled out.
   void publish_metrics(obs::Registry& reg, SimTime now) const;
 
  private:
@@ -142,6 +151,7 @@ class Facility {
   stats::TimeWeighted busy_tw_;
   stats::TimeWeighted queue_tw_;
   stats::RunningStats wait_stats_;
+  obs::Histogram sojourn_hist_;
 };
 
 }  // namespace nashlb::des

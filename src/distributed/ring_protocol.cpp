@@ -54,8 +54,28 @@ struct ProtocolState {
 void deliver_token(const std::shared_ptr<ProtocolState>& st,
                    std::size_t user);
 
+/// Books one outgoing message for the node sending to `to`: per-node
+/// counter plus a hop span on the sender's track of the simulated
+/// timeline. `kind` is "hop" (token) or "stop" (STOP wave).
+void note_send(const std::shared_ptr<ProtocolState>& st, std::size_t to,
+               const char* kind) {
+  const std::size_t m = st->inst.num_users();
+  const std::size_t from = (to + m - 1) % m;
+  if (obs::kEnabled && st->opts.metrics) {
+    st->opts.metrics->counter("ring.node." + std::to_string(from) + ".sent")
+        .add();
+  }
+  if (obs::kEnabled && st->opts.spans) {
+    st->opts.spans->record_span(kind, "ring", st->sim.now(),
+                                st->opts.link_latency,
+                                static_cast<std::uint32_t>(from),
+                                static_cast<std::int64_t>(st->round));
+  }
+}
+
 void send_token(const std::shared_ptr<ProtocolState>& st, std::size_t to) {
   ++st->result.messages;
+  note_send(st, to, "hop");
   st->sim.schedule(st->opts.link_latency,
                    [st, to](des::SimTime) { deliver_token(st, to); });
 }
@@ -64,9 +84,22 @@ void send_token(const std::shared_ptr<ProtocolState>& st, std::size_t to) {
 void send_stop(const std::shared_ptr<ProtocolState>& st, std::size_t to) {
   if (to == 0) return;  // wave completed the ring
   ++st->result.messages;
+  note_send(st, to, "stop");
   st->sim.schedule(st->opts.link_latency, [st, to](des::SimTime) {
     send_stop(st, (to + 1) % st->inst.num_users());
   });
+}
+
+/// Books the compute window [now, now + compute_time] in which `user`
+/// inspects the queues and runs OPTIMAL.
+void note_compute(const std::shared_ptr<ProtocolState>& st,
+                  std::size_t user) {
+  if (obs::kEnabled && st->opts.spans) {
+    st->opts.spans->record_span("compute", "ring", st->sim.now(),
+                                st->opts.compute_time,
+                                static_cast<std::uint32_t>(user),
+                                static_cast<std::int64_t>(st->round));
+  }
 }
 
 void update_user(const std::shared_ptr<ProtocolState>& st, std::size_t user) {
@@ -123,6 +156,7 @@ void close_round(const std::shared_ptr<ProtocolState>& st) {
   // User 1 (index 0) starts the next round with its own update. The
   // loads are rebuilt from the profile at each round boundary, mirroring
   // core::best_reply_dynamics' drift control exactly.
+  note_compute(st, 0);
   st->sim.schedule(st->opts.compute_time, [st](des::SimTime) {
     st->state.rebuild(st->profile);
     update_user(st, 0);
@@ -137,6 +171,7 @@ void deliver_token(const std::shared_ptr<ProtocolState>& st,
     close_round(st);
     return;
   }
+  note_compute(st, user);
   st->sim.schedule(st->opts.compute_time, [st, user](des::SimTime) {
     update_user(st, user);
     send_token(st, (user + 1) % st->inst.num_users());
@@ -165,6 +200,7 @@ RingResult run_ring_protocol(const core::Instance& inst,
   st->last_times = std::move(initial_times);
 
   // Kick off round 1 at user 1 (index 0).
+  note_compute(st, 0);
   st->sim.schedule(options.compute_time, [st, m](des::SimTime) {
     update_user(st, 0);
     if (m == 1) {

@@ -26,6 +26,8 @@
 
 #include "core/dynamics.hpp"
 #include "core/types.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 namespace nashlb::distributed {
@@ -48,6 +50,15 @@ struct RingOptions {
   /// Optional per-round trace (not owned, may be null): one row per round
   /// close under the `ring_trace_columns()` schema.
   obs::TraceSink* trace = nullptr;
+  /// Optional span tracer (not owned, may be null) on the *simulated*
+  /// timeline: every token/STOP hop becomes a "hop"/"stop" span on the
+  /// sending user's track and every local best-reply a "compute" span on
+  /// the updating user's track (id = round). A no-op when the obs layer
+  /// is compiled out.
+  obs::SpanTracer* spans = nullptr;
+  /// Optional metric registry (not owned, may be null): the protocol
+  /// counts messages sent per node under `ring.node.<j>.sent`.
+  obs::Registry* metrics = nullptr;
 };
 
 /// Schema of the ring protocol's per-round trace, in column order:

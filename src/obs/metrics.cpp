@@ -6,25 +6,40 @@
 #include "obs/json.hpp"
 #include "util/csv.hpp"
 
-namespace nashlb::obs::detail {
+namespace nashlb::obs {
+
+std::vector<std::string> registry_export_columns() {
+  return {"metric", "kind",        "count",       "total_seconds",
+          "min_seconds", "max_seconds", "p50", "p90", "p99"};
+}
+
+namespace detail {
 
 std::vector<MetricSnapshot> EnabledRegistry::snapshot() const {
   std::vector<MetricSnapshot> out;
   out.reserve(size());
   for (const auto& [name, counter] : counters_) {
-    out.push_back({name, "counter", counter.value(), 0.0});
+    out.push_back(
+        {name, "counter", counter.value(), 0.0, 0.0, 0.0, 0.0, 0.0, 0.0});
   }
   for (const auto& [name, timer] : timers_) {
-    out.push_back({name, "timer", timer.count(), timer.total_seconds()});
+    out.push_back({name, "timer", timer.count(), timer.total_seconds(),
+                   timer.min_seconds(), timer.max_seconds(), 0.0, 0.0, 0.0});
+  }
+  for (const auto& [name, hist] : histograms_) {
+    out.push_back({name, "histogram", hist.count(), hist.sum(), hist.min(),
+                   hist.max(), hist.p50(), hist.p90(), hist.p99()});
   }
   return out;
 }
 
 void EnabledRegistry::write_csv(const std::string& path) const {
-  util::CsvWriter writer(path, {"metric", "kind", "count", "total_seconds"});
+  util::CsvWriter writer(path, registry_export_columns());
   for (const MetricSnapshot& m : snapshot()) {
     writer.add_row({m.name, m.kind, std::to_string(m.count),
-                    json_number(m.total_seconds)});
+                    json_number(m.total_seconds), json_number(m.min_seconds),
+                    json_number(m.max_seconds), json_number(m.p50),
+                    json_number(m.p90), json_number(m.p99)});
   }
 }
 
@@ -36,8 +51,14 @@ void EnabledRegistry::write_jsonl(const std::string& path) const {
   for (const MetricSnapshot& m : snapshot()) {
     out << "{\"metric\":" << json_quote(m.name)
         << ",\"kind\":" << json_quote(m.kind) << ",\"count\":" << m.count
-        << ",\"total_seconds\":" << json_number(m.total_seconds) << "}\n";
+        << ",\"total_seconds\":" << json_number(m.total_seconds)
+        << ",\"min_seconds\":" << json_number(m.min_seconds)
+        << ",\"max_seconds\":" << json_number(m.max_seconds)
+        << ",\"p50\":" << json_number(m.p50)
+        << ",\"p90\":" << json_number(m.p90)
+        << ",\"p99\":" << json_number(m.p99) << "}\n";
   }
 }
 
-}  // namespace nashlb::obs::detail
+}  // namespace detail
+}  // namespace nashlb::obs

@@ -27,15 +27,10 @@
 #include <utility>
 #include <vector>
 
-#ifndef NASHLB_OBS_ENABLED
-#define NASHLB_OBS_ENABLED 1
-#endif
+#include "obs/config.hpp"     // NASHLB_OBS_ENABLED default + kEnabled
+#include "obs/histogram.hpp"  // the Registry stores histograms too
 
 namespace nashlb::obs {
-
-/// Compile-time master switch; `if (obs::kEnabled && ...)` blocks are
-/// dead-code-eliminated when the layer is disabled.
-inline constexpr bool kEnabled = NASHLB_OBS_ENABLED != 0;
 
 namespace detail {
 
@@ -50,20 +45,38 @@ class EnabledCounter {
   std::uint64_t value_ = 0;
 };
 
-/// Accumulates wall-clock durations (seconds) plus an observation count.
+/// Accumulates wall-clock durations (seconds) plus an observation count
+/// and the observed extremes.
 class EnabledTimer {
  public:
   void add_seconds(double s) noexcept {
     total_seconds_ += s;
     ++count_;
+    note_extreme(s, s);
   }
   /// Folds a pre-aggregated batch: `total` seconds over `n` observations.
+  /// The batch carries no per-observation extremes, so min/max are
+  /// untouched; use the 4-argument overload when the producer knows them.
   void add_batch(double total, std::uint64_t n) noexcept {
     total_seconds_ += total;
     count_ += n;
   }
+  /// Batch fold with the batch's own observed extremes.
+  void add_batch(double total, std::uint64_t n, double batch_min,
+                 double batch_max) noexcept {
+    add_batch(total, n);
+    if (n != 0) note_extreme(batch_min, batch_max);
+  }
   [[nodiscard]] double total_seconds() const noexcept { return total_seconds_; }
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  /// Smallest / largest single observation seen (0 while none carried
+  /// extremes — batches folded without them don't count).
+  [[nodiscard]] double min_seconds() const noexcept {
+    return min_ <= max_ ? min_ : 0.0;
+  }
+  [[nodiscard]] double max_seconds() const noexcept {
+    return min_ <= max_ ? max_ : 0.0;
+  }
   /// Mean seconds per observation (0 if none recorded).
   [[nodiscard]] double mean_seconds() const noexcept {
     return count_ == 0 ? 0.0
@@ -72,11 +85,26 @@ class EnabledTimer {
   void reset() noexcept {
     total_seconds_ = 0.0;
     count_ = 0;
+    min_ = 1.0;
+    max_ = 0.0;
   }
 
  private:
+  void note_extreme(double lo, double hi) noexcept {
+    if (min_ > max_) {  // no extremes recorded yet
+      min_ = lo;
+      max_ = hi;
+    } else {
+      if (lo < min_) min_ = lo;
+      if (hi > max_) max_ = hi;
+    }
+  }
+
   double total_seconds_ = 0.0;
   std::uint64_t count_ = 0;
+  // min_ > max_ encodes "no extremes yet" without a separate flag.
+  double min_ = 1.0;
+  double max_ = 0.0;
 };
 
 /// RAII scope timer: accumulates the scope's wall time into a Timer.
@@ -114,8 +142,11 @@ class NullTimer {
  public:
   void add_seconds(double) noexcept {}
   void add_batch(double, std::uint64_t) noexcept {}
+  void add_batch(double, std::uint64_t, double, double) noexcept {}
   [[nodiscard]] constexpr double total_seconds() const noexcept { return 0.0; }
   [[nodiscard]] constexpr std::uint64_t count() const noexcept { return 0; }
+  [[nodiscard]] constexpr double min_seconds() const noexcept { return 0.0; }
+  [[nodiscard]] constexpr double max_seconds() const noexcept { return 0.0; }
   [[nodiscard]] constexpr double mean_seconds() const noexcept { return 0.0; }
   void reset() noexcept {}
 };
@@ -133,12 +164,25 @@ class NullScopedTimer {
 }  // namespace detail
 
 /// Point-in-time view of one named metric (see Registry::snapshot).
+/// Fields a kind doesn't define are 0: counters carry only `count`;
+/// timers add totals and extremes; histograms add the quantiles.
 struct MetricSnapshot {
   std::string name;
-  std::string kind;       ///< "counter" or "timer"
-  std::uint64_t count;    ///< counter value, or timer observation count
-  double total_seconds;   ///< 0 for counters
+  std::string kind;       ///< "counter", "timer" or "histogram"
+  std::uint64_t count;    ///< counter value, or observation count
+  double total_seconds;   ///< accumulated seconds (histogram: sum)
+  double min_seconds;     ///< smallest observation (0 if unknown)
+  double max_seconds;     ///< largest observation (0 if unknown)
+  double p50;             ///< histogram quantiles (0 for other kinds)
+  double p90;
+  double p99;
 };
+
+/// Column names of the Registry's CSV export, in order. Declared
+/// programmatically (like the `*_trace_columns()` schemas) so consumers
+/// never hardcode the export layout; tools/lint_nashlb.py checks every
+/// exported row against this arity.
+[[nodiscard]] std::vector<std::string> registry_export_columns();
 
 namespace detail {
 
@@ -151,15 +195,20 @@ class EnabledRegistry {
   EnabledCounter& counter(const std::string& name) { return counters_[name]; }
   /// Returns (creating on first use) the timer named `name`.
   EnabledTimer& timer(const std::string& name) { return timers_[name]; }
-
-  [[nodiscard]] std::size_t size() const noexcept {
-    return counters_.size() + timers_.size();
+  /// Returns (creating on first use) the histogram named `name`.
+  EnabledHistogram& histogram(const std::string& name) {
+    return histograms_[name];
   }
 
-  /// All metrics, counters first then timers, each group name-sorted.
+  [[nodiscard]] std::size_t size() const noexcept {
+    return counters_.size() + timers_.size() + histograms_.size();
+  }
+
+  /// All metrics — counters, then timers, then histograms, each group
+  /// name-sorted.
   [[nodiscard]] std::vector<MetricSnapshot> snapshot() const;
 
-  /// Writes the snapshot as CSV: metric,kind,count,total_seconds.
+  /// Writes the snapshot as CSV under `registry_export_columns()`.
   void write_csv(const std::string& path) const;
   /// Writes the snapshot as JSON-lines, one metric object per line.
   void write_jsonl(const std::string& path) const;
@@ -167,17 +216,20 @@ class EnabledRegistry {
   void clear() noexcept {
     counters_.clear();
     timers_.clear();
+    histograms_.clear();
   }
 
  private:
   std::map<std::string, EnabledCounter> counters_;
   std::map<std::string, EnabledTimer> timers_;
+  std::map<std::string, EnabledHistogram> histograms_;
 };
 
 class NullRegistry {
  public:
   NullCounter& counter(const std::string&) noexcept { return counter_; }
   NullTimer& timer(const std::string&) noexcept { return timer_; }
+  NullHistogram& histogram(const std::string&) noexcept { return histogram_; }
   [[nodiscard]] constexpr std::size_t size() const noexcept { return 0; }
   [[nodiscard]] std::vector<MetricSnapshot> snapshot() const { return {}; }
   void write_csv(const std::string&) const noexcept {}
@@ -187,6 +239,7 @@ class NullRegistry {
  private:
   NullCounter counter_;
   NullTimer timer_;
+  NullHistogram histogram_;
 };
 
 }  // namespace detail

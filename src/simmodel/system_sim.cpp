@@ -135,11 +135,13 @@ SimRunResult simulate(const core::Instance& inst,
   }
   result.overall_mean_response = overall_stats.mean();
   result.end_time = sim.now();
+  result.computer_sojourn.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     result.computer_utilization[i] = computers[i]->utilization(sim.now());
     result.computer_mean_response[i] = computer_stats[i].mean();
     result.computer_jobs[i] = computer_stats[i].count();
     result.computer_mean_queue[i] = computers[i]->mean_queue_length(sim.now());
+    result.computer_sojourn.push_back(computers[i]->sojourn_histogram());
   }
   return result;
 }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "obs/histogram.hpp"
 
 namespace nashlb::simmodel {
 
@@ -62,6 +63,11 @@ struct SimRunResult {
   /// Time-average number waiting at each computer — compare with
   /// MM1::mean_queue_length (Little's law cross-check in the tests).
   std::vector<double> computer_mean_queue;
+  /// Per-computer sojourn-time histogram (every completed job, including
+  /// warm-up — see des::Facility::sojourn_histogram). Quantiles compare
+  /// with the exact M/M/1 sojourn quantile -ln(1-q)/(mu_i - lambda_i).
+  /// Empty histograms when the obs layer is compiled out.
+  std::vector<obs::Histogram> computer_sojourn;
   /// Total jobs generated / completed (incl. warm-up).
   std::uint64_t jobs_generated = 0;
   std::uint64_t jobs_completed = 0;

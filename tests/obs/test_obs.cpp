@@ -1,9 +1,12 @@
-// Tests of the observability layer (obs/metrics.hpp, obs/trace.hpp):
-// counter/timer semantics, registry export round-trips through the CSV
-// and JSON-lines writers, the no-op contract of the disabled twins, and
-// the instrumentation points in core/distributed/simmodel.
+// Tests of the observability layer (obs/metrics.hpp, obs/histogram.hpp,
+// obs/span.hpp, obs/trace.hpp): counter/timer/histogram semantics,
+// registry export round-trips through the CSV and JSON-lines writers,
+// span tracing and its Chrome trace-event serialization, the no-op
+// contract of the disabled twins, and the instrumentation points in
+// core/distributed/simmodel.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -16,10 +19,14 @@
 #include "des/facility.hpp"
 #include "des/simulator.hpp"
 #include "distributed/ring_protocol.hpp"
+#include "obs/histogram.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "simmodel/replication.hpp"
+#include "stats/distributions.hpp"
+#include "stats/rng.hpp"
 
 namespace {
 
@@ -79,6 +86,32 @@ TEST(ObsMetrics, TimerAccumulatesAndAverages) {
   EXPECT_DOUBLE_EQ(t.total_seconds(), 5.0);
 }
 
+TEST(ObsMetrics, TimerTracksExtremes) {
+  obs::detail::EnabledTimer t;
+  EXPECT_DOUBLE_EQ(t.min_seconds(), 0.0);  // empty: no extremes yet
+  EXPECT_DOUBLE_EQ(t.max_seconds(), 0.0);
+  t.add_seconds(1.5);
+  t.add_seconds(0.5);
+  EXPECT_DOUBLE_EQ(t.min_seconds(), 0.5);
+  EXPECT_DOUBLE_EQ(t.max_seconds(), 1.5);
+  // The 2-arg batch carries no extremes and must not disturb them.
+  t.add_batch(100.0, 10);
+  EXPECT_DOUBLE_EQ(t.min_seconds(), 0.5);
+  EXPECT_DOUBLE_EQ(t.max_seconds(), 1.5);
+  // The 4-arg batch folds its own extremes in.
+  t.add_batch(1.0, 4, 0.01, 3.0);
+  EXPECT_DOUBLE_EQ(t.min_seconds(), 0.01);
+  EXPECT_DOUBLE_EQ(t.max_seconds(), 3.0);
+  // An empty batch must not install bogus extremes.
+  obs::detail::EnabledTimer u;
+  u.add_batch(0.0, 0, 99.0, -99.0);
+  EXPECT_DOUBLE_EQ(u.min_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(u.max_seconds(), 0.0);
+  t.reset();
+  EXPECT_DOUBLE_EQ(t.min_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(t.max_seconds(), 0.0);
+}
+
 TEST(ObsMetrics, ScopedTimerChargesOnExit) {
   obs::detail::EnabledTimer t;
   {
@@ -108,12 +141,30 @@ TEST(ObsMetrics, RegistryCsvRoundTrip) {
   obs::detail::EnabledRegistry reg;
   reg.counter("solver.rounds").add(17);
   reg.timer("solver.wall").add_batch(2.5, 5);
+  reg.histogram("solver.round_latency").record(0.5);
   TempFile f("registry.csv");
   reg.write_csv(f.path());
   const std::string csv = f.contents();
-  EXPECT_NE(csv.find("metric,kind,count,total_seconds"), std::string::npos);
-  EXPECT_NE(csv.find("solver.rounds,counter,17,0"), std::string::npos);
-  EXPECT_NE(csv.find("solver.wall,timer,5,2.5"), std::string::npos);
+  EXPECT_NE(csv.find("metric,kind,count,total_seconds,min_seconds,"
+                     "max_seconds,p50,p90,p99"),
+            std::string::npos);
+  EXPECT_NE(csv.find("solver.rounds,counter,17,0,0,0,0,0,0"),
+            std::string::npos);
+  // The batch carried no extremes, so min/max export as 0.
+  EXPECT_NE(csv.find("solver.wall,timer,5,2.5,0,0,0,0,0"),
+            std::string::npos);
+  // A single 0.5 s observation: every quantile clamps to the exact value.
+  EXPECT_NE(csv.find("solver.round_latency,histogram,1,0.5,0.5,0.5,"
+                     "0.5,0.5,0.5"),
+            std::string::npos);
+}
+
+TEST(ObsMetrics, RegistryExportColumnsMatchSnapshotFields) {
+  // The programmatic schema is what consumers (and the lint) key on.
+  const std::vector<std::string> cols = obs::registry_export_columns();
+  ASSERT_EQ(cols.size(), 9u);
+  EXPECT_EQ(cols.front(), "metric");
+  EXPECT_EQ(cols.back(), "p99");
 }
 
 TEST(ObsMetrics, RegistryJsonlRoundTrip) {
@@ -123,7 +174,8 @@ TEST(ObsMetrics, RegistryJsonlRoundTrip) {
   reg.write_jsonl(f.path());
   EXPECT_EQ(f.contents(),
             "{\"metric\":\"events\",\"kind\":\"counter\",\"count\":3,"
-            "\"total_seconds\":0}\n");
+            "\"total_seconds\":0,\"min_seconds\":0,\"max_seconds\":0,"
+            "\"p50\":0,\"p90\":0,\"p99\":0}\n");
 }
 
 // --- trace sink ---------------------------------------------------------
@@ -191,6 +243,185 @@ TEST(ObsJson, EscapesControlCharacters) {
             "null");
 }
 
+// --- histograms ---------------------------------------------------------
+
+TEST(ObsHistogram, LayoutIsMonotoneAndSelfConsistent) {
+  using Layout = obs::HistogramLayout;
+  ASSERT_GT(Layout::bucket_count(), 0u);
+  for (std::size_t k = 0; k < Layout::bucket_count(); ++k) {
+    const double lo = Layout::bucket_lower_bound(k);
+    const double hi = Layout::bucket_upper_bound(k);
+    EXPECT_LT(lo, hi);
+    if (k > 0) {
+      EXPECT_DOUBLE_EQ(lo, Layout::bucket_upper_bound(k - 1));
+    }
+    // A value strictly inside the bucket indexes back to it.
+    EXPECT_EQ(Layout::bucket_index(lo * 1.01), k);
+  }
+  // Out-of-grid values clamp instead of falling off.
+  EXPECT_EQ(Layout::bucket_index(0.0), 0u);
+  EXPECT_EQ(Layout::bucket_index(-1.0), 0u);
+  EXPECT_EQ(Layout::bucket_index(1e300), Layout::bucket_count() - 1);
+}
+
+TEST(ObsHistogram, RecordsCountSumAndExtremes) {
+  obs::detail::EnabledHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty
+  h.record(0.25);
+  h.record(1.0);
+  h.record(0.03);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1.28);
+  EXPECT_DOUBLE_EQ(h.min(), 0.03);
+  EXPECT_DOUBLE_EQ(h.max(), 1.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 1.28 / 3.0);
+  // Quantiles stay inside the exact observed range.
+  EXPECT_GE(h.p50(), h.min());
+  EXPECT_LE(h.p99(), h.max());
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(ObsHistogram, QuantilesTrackExactSampleQuantiles) {
+  // Random exponential latencies: the histogram's interpolated quantile
+  // must track the exact sorted-sample quantile within the bucket
+  // relative width (~4.4%) plus interpolation slack.
+  stats::Xoshiro256 rng(0xfeedULL);
+  const stats::Exponential latency(50.0);  // mean 20 ms
+  obs::detail::EnabledHistogram h;
+  std::vector<double> samples;
+  const std::size_t kN = 20000;
+  samples.reserve(kN);
+  for (std::size_t s = 0; s < kN; ++s) {
+    const double x = latency.sample(rng);
+    samples.push_back(x);
+    h.record(x);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (double q : {0.10, 0.50, 0.90, 0.99}) {
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(kN)));
+    const double exact = samples[rank - 1];
+    EXPECT_NEAR(h.quantile(q), exact, 0.06 * exact)
+        << "q=" << q;
+  }
+  // Degenerate quantiles clamp to the exact extremes.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), samples.front());
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), samples.back());
+}
+
+TEST(ObsHistogram, MergeIsAssociativeAndCommutative) {
+  stats::Xoshiro256 rng(0xabcdULL);
+  const stats::Exponential latency(10.0);
+  obs::detail::EnabledHistogram a, b, c;
+  for (int s = 0; s < 500; ++s) a.record(latency.sample(rng));
+  for (int s = 0; s < 300; ++s) b.record(latency.sample(rng) * 2.0);
+  for (int s = 0; s < 100; ++s) c.record(latency.sample(rng) * 0.1);
+
+  const auto same = [](const obs::detail::EnabledHistogram& x,
+                       const obs::detail::EnabledHistogram& y) {
+    ASSERT_EQ(x.count(), y.count());
+    EXPECT_DOUBLE_EQ(x.sum(), y.sum());
+    EXPECT_DOUBLE_EQ(x.min(), y.min());
+    EXPECT_DOUBLE_EQ(x.max(), y.max());
+    for (std::size_t k = 0; k < obs::HistogramLayout::bucket_count(); ++k) {
+      ASSERT_EQ(x.bucket(k), y.bucket(k)) << "bucket " << k;
+    }
+    EXPECT_DOUBLE_EQ(x.p50(), y.p50());
+    EXPECT_DOUBLE_EQ(x.p99(), y.p99());
+  };
+
+  // Commutativity: a+b == b+a.
+  obs::detail::EnabledHistogram ab = a, ba = b;
+  ab.merge(b);
+  ba.merge(a);
+  same(ab, ba);
+
+  // Associativity: (a+b)+c == a+(b+c).
+  obs::detail::EnabledHistogram left = ab, bc = b, right = a;
+  left.merge(c);
+  bc.merge(c);
+  right.merge(bc);
+  same(left, right);
+
+  // Merging an empty histogram is the identity.
+  obs::detail::EnabledHistogram a2 = a;
+  a2.merge(obs::detail::EnabledHistogram{});
+  same(a2, a);
+}
+
+// --- span tracer --------------------------------------------------------
+
+TEST(ObsSpan, BeginEndNestAndInterleave) {
+  obs::detail::EnabledSpanTracer tracer;
+  const obs::SpanId outer = tracer.begin("round", "dynamics", 0, 1);
+  const obs::SpanId inner = tracer.begin("reply", "dynamics", 0, 7);
+  EXPECT_EQ(tracer.open_spans(), 2u);
+  tracer.end(inner);
+  tracer.end(outer);
+  EXPECT_EQ(tracer.open_spans(), 0u);
+  ASSERT_EQ(tracer.size(), 2u);
+  // Completion order: inner first; the outer span encloses it.
+  const obs::SpanEvent& reply = tracer.events()[0];
+  const obs::SpanEvent& round = tracer.events()[1];
+  EXPECT_EQ(reply.name, "reply");
+  EXPECT_EQ(round.name, "round");
+  EXPECT_EQ(reply.id, 7);
+  EXPECT_LE(round.start_us, reply.start_us);
+  EXPECT_GE(round.start_us + round.duration_us,
+            reply.start_us + reply.duration_us);
+  // Ending an unknown id is ignored.
+  tracer.end(obs::SpanId{12345});
+  EXPECT_EQ(tracer.size(), 2u);
+}
+
+TEST(ObsSpan, RecordSpanUsesCallerTimeline) {
+  obs::detail::EnabledSpanTracer tracer;
+  tracer.record_span("hop", "ring", 2.5, 0.001, 3, 11);
+  tracer.record_span("clamped", "ring", 1.0, -5.0);
+  ASSERT_EQ(tracer.size(), 2u);
+  EXPECT_DOUBLE_EQ(tracer.events()[0].start_us, 2.5e6);
+  EXPECT_DOUBLE_EQ(tracer.events()[0].duration_us, 1e3);
+  EXPECT_EQ(tracer.events()[0].track, 3u);
+  EXPECT_EQ(tracer.events()[0].id, 11);
+  EXPECT_DOUBLE_EQ(tracer.events()[1].duration_us, 0.0);
+}
+
+TEST(ObsSpan, ChromeTraceJsonIsSchemaComplete) {
+  obs::detail::EnabledSpanTracer tracer;
+  tracer.record_span("compute", "ring", 0.0, 0.5, 1, 1);
+  tracer.record_span("hop \"x\"", "ring", 0.5, 0.1, 1, 2);
+  const obs::SpanId open = tracer.begin("dangling", "test");
+  (void)open;  // left open: must not be exported
+  TempFile f("spans.json");
+  tracer.write_chrome_trace(f.path());
+  const std::string json = f.contents();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // Every declared field appears once per event, and only complete ("X")
+  // events are emitted.
+  std::size_t events = 0;
+  for (std::size_t at = json.find("\"ph\":\"X\""); at != std::string::npos;
+       at = json.find("\"ph\":\"X\"", at + 1)) {
+    ++events;
+  }
+  EXPECT_EQ(events, tracer.size());
+  for (const std::string& field : obs::span_trace_fields()) {
+    std::size_t hits = 0;
+    const std::string needle = "\"" + field + "\":";
+    for (std::size_t at = json.find(needle); at != std::string::npos;
+         at = json.find(needle, at + 1)) {
+      ++hits;
+    }
+    EXPECT_EQ(hits, tracer.size()) << "field " << field;
+  }
+  EXPECT_NE(json.find("hop \\\"x\\\""), std::string::npos);  // escaping
+  EXPECT_EQ(json.find("dangling"), std::string::npos);
+  ASSERT_EQ(obs::span_trace_fields().size(), 8u);
+}
+
 // --- the no-op twins (the disabled build's types) -----------------------
 
 TEST(ObsDisabled, NullTypesAreEmptyNoOps) {
@@ -198,14 +429,19 @@ TEST(ObsDisabled, NullTypesAreEmptyNoOps) {
   // empty layout and discard everything.
   static_assert(std::is_empty_v<obs::detail::NullCounter>);
   static_assert(std::is_empty_v<obs::detail::NullTimer>);
+  static_assert(std::is_empty_v<obs::detail::NullHistogram>);
+  static_assert(std::is_empty_v<obs::detail::NullSpanTracer>);
   obs::detail::NullCounter c;
   c.add(1000);
   EXPECT_EQ(c.value(), 0u);
   obs::detail::NullTimer t;
   t.add_seconds(5.0);
   t.add_batch(5.0, 5);
+  t.add_batch(5.0, 5, 1.0, 4.0);
   EXPECT_EQ(t.count(), 0u);
   EXPECT_EQ(t.total_seconds(), 0.0);
+  EXPECT_EQ(t.min_seconds(), 0.0);
+  EXPECT_EQ(t.max_seconds(), 0.0);
   {
     obs::detail::NullScopedTimer scope(t);
     EXPECT_EQ(scope.elapsed_seconds(), 0.0);
@@ -213,10 +449,43 @@ TEST(ObsDisabled, NullTypesAreEmptyNoOps) {
   EXPECT_EQ(t.count(), 0u);
 }
 
+TEST(ObsDisabled, NullHistogramRecordsNothing) {
+  obs::detail::NullHistogram h;
+  h.record(1.0);
+  obs::detail::NullHistogram other;
+  other.record(2.0);
+  h.merge(other);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.quantile(0.99), 0.0);
+  EXPECT_EQ(h.p50(), 0.0);
+  EXPECT_EQ(h.bucket(0), 0u);
+}
+
+TEST(ObsDisabled, NullSpanTracerDiscardsAndWritesNoFiles) {
+  obs::detail::NullSpanTracer tracer;
+  const obs::SpanId id = tracer.begin("round", "dynamics");
+  tracer.record_span("hop", "ring", 0.0, 1.0);
+  tracer.end(id);
+  {
+    obs::detail::NullScopedSpan scope(tracer, "reply", "dynamics");
+  }
+  EXPECT_TRUE(tracer.empty());
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.open_spans(), 0u);
+  EXPECT_TRUE(tracer.events().empty());
+  TempFile f("null_spans.json");
+  tracer.write_chrome_trace(f.path());
+  EXPECT_FALSE(std::filesystem::exists(f.path()));
+}
+
 TEST(ObsDisabled, NullRegistryAndSinkDiscardEverything) {
   obs::detail::NullRegistry reg;
   reg.counter("x").add(5);
   reg.timer("y").add_seconds(1.0);
+  reg.histogram("z").record(1.0);
   EXPECT_EQ(reg.size(), 0u);
   EXPECT_TRUE(reg.snapshot().empty());
 
@@ -288,6 +557,46 @@ TEST(ObsWiring, DynamicsEmitsOneRowPerRound) {
   }
 }
 
+TEST(ObsWiring, DynamicsEmitsNestedRoundAndReplySpans) {
+  const core::Instance inst = small_instance();
+  obs::SpanTracer spans;
+  core::DynamicsOptions opts;
+  opts.spans = &spans;
+  const core::DynamicsResult r = core::best_reply_dynamics(inst, opts);
+  ASSERT_TRUE(r.converged);
+  if constexpr (obs::kEnabled) {
+    EXPECT_EQ(spans.open_spans(), 0u);
+    std::vector<const obs::SpanEvent*> rounds, replies;
+    for (const obs::SpanEvent& e : spans.events()) {
+      EXPECT_EQ(e.category, "dynamics");
+      if (e.name == "round") rounds.push_back(&e);
+      if (e.name == "reply") replies.push_back(&e);
+    }
+    EXPECT_EQ(rounds.size() + replies.size(), spans.size());
+    ASSERT_EQ(rounds.size(), r.iterations);
+    EXPECT_EQ(replies.size(), r.iterations * inst.num_users());
+    // Round ids are the 1-based round index, in order.
+    for (std::size_t l = 0; l < rounds.size(); ++l) {
+      EXPECT_EQ(rounds[l]->id, static_cast<std::int64_t>(l + 1));
+    }
+    // Every reply span is enclosed by some round span.
+    for (const obs::SpanEvent* reply : replies) {
+      bool enclosed = false;
+      for (const obs::SpanEvent* round : rounds) {
+        if (round->start_us <= reply->start_us &&
+            round->start_us + round->duration_us >=
+                reply->start_us + reply->duration_us) {
+          enclosed = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(enclosed) << "reply for user " << reply->id;
+    }
+  } else {
+    EXPECT_TRUE(spans.empty());
+  }
+}
+
 TEST(ObsWiring, RingProtocolEmitsOneRowPerRound) {
   const core::Instance inst = small_instance();
   obs::TraceSink sink(distributed::ring_trace_columns());
@@ -308,6 +617,41 @@ TEST(ObsWiring, RingProtocolEmitsOneRowPerRound) {
     }
   } else {
     EXPECT_EQ(sink.size(), 0u);
+  }
+}
+
+TEST(ObsWiring, RingProtocolEmitsSpansAndPerNodeCounters) {
+  const core::Instance inst = small_instance();
+  const std::size_t m = inst.num_users();
+  obs::SpanTracer spans;
+  obs::Registry reg;
+  distributed::RingOptions opts;
+  opts.spans = &spans;
+  opts.metrics = &reg;
+  const distributed::RingResult r = distributed::run_ring_protocol(inst, opts);
+  ASSERT_TRUE(r.converged);
+  if constexpr (obs::kEnabled) {
+    std::size_t hops = 0;
+    std::size_t computes = 0;
+    for (const obs::SpanEvent& e : spans.events()) {
+      EXPECT_EQ(e.category, "ring");
+      EXPECT_LT(e.track, m);
+      EXPECT_GE(e.id, 1);  // tagged with the 1-based round
+      if (e.name == "hop" || e.name == "stop") ++hops;
+      if (e.name == "compute") ++computes;
+    }
+    // One hop/stop span per ring message, one compute span per update.
+    EXPECT_EQ(hops, r.messages);
+    EXPECT_EQ(computes, r.rounds * m);
+    // The per-node send counters partition the message total.
+    std::uint64_t sent = 0;
+    for (std::size_t j = 0; j < m; ++j) {
+      sent += reg.counter("ring.node." + std::to_string(j) + ".sent").value();
+    }
+    EXPECT_EQ(sent, r.messages);
+  } else {
+    EXPECT_TRUE(spans.empty());
+    EXPECT_EQ(reg.size(), 0u);
   }
 }
 
@@ -332,11 +676,48 @@ TEST(ObsWiring, DesKernelAndFacilityPublishCounters) {
     EXPECT_EQ(reg.counter("cpu0.completed").value(), 2u);
     // Two unit jobs back to back: 2 busy server-seconds over [0, 2].
     EXPECT_NEAR(reg.timer("cpu0.busy_time").total_seconds(), 2.0, 1e-12);
-    // The queued job waited exactly one service time.
+    // The queued job waited exactly one service time; the 4-arg batch
+    // publish carries the per-job extremes.
     EXPECT_NEAR(reg.timer("cpu0.waiting").total_seconds(), 1.0, 1e-12);
     EXPECT_EQ(reg.timer("cpu0.waiting").count(), 2u);
+    EXPECT_NEAR(reg.timer("cpu0.waiting").min_seconds(), 0.0, 1e-12);
+    EXPECT_NEAR(reg.timer("cpu0.waiting").max_seconds(), 1.0, 1e-12);
+    // Sojourns: 1 s for the first job, 2 s for the queued one.
+    const obs::Histogram& sojourn = server.sojourn_histogram();
+    EXPECT_EQ(sojourn.count(), 2u);
+    EXPECT_NEAR(sojourn.min(), 1.0, 1e-12);
+    EXPECT_NEAR(sojourn.max(), 2.0, 1e-12);
+    EXPECT_NEAR(sojourn.sum(), 3.0, 1e-12);
+    EXPECT_EQ(reg.histogram("cpu0.sojourn").count(), 2u);
+    EXPECT_NEAR(reg.histogram("cpu0.sojourn").max(), 2.0, 1e-12);
   } else {
     EXPECT_EQ(reg.size(), 0u);
+  }
+}
+
+TEST(ObsWiring, SystemSimExportsPerComputerSojournHistograms) {
+  const core::Instance inst = small_instance();
+  const core::StrategyProfile profile =
+      core::StrategyProfile::proportional(inst);
+  simmodel::SimConfig cfg;
+  cfg.horizon = 50.0;
+  cfg.warmup = 0.0;
+  const simmodel::SimRunResult run = simmodel::simulate(inst, profile, cfg);
+  ASSERT_EQ(run.computer_sojourn.size(), inst.num_computers());
+  if constexpr (obs::kEnabled) {
+    std::uint64_t recorded = 0;
+    for (const obs::Histogram& h : run.computer_sojourn) {
+      recorded += h.count();
+      if (h.count() > 0) {
+        EXPECT_GT(h.max(), 0.0);
+      }
+    }
+    // Every completed job's sojourn is recorded (incl. warmup = 0 here).
+    EXPECT_EQ(recorded, run.jobs_completed);
+  } else {
+    for (const obs::Histogram& h : run.computer_sojourn) {
+      EXPECT_EQ(h.count(), 0u);
+    }
   }
 }
 

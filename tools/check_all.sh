@@ -5,14 +5,16 @@
 #
 #   1. check_docs      README/docs drift                      (~0 s)
 #   2. lint_nashlb     repo-specific rules (python3)          (~0 s)
-#   3. check_format    clang-format check-only      (SKIP if absent)
-#   4. -Werror build   full tree, warnings as errors (build-werror/)
-#   5. check_tidy      clang-tidy over that tree    (SKIP if absent)
-#   6. contract build  -DNASHLB_CHECK=ON + full ctest (build-check/)
-#   7. check_sanitize  ASan+UBSan with contracts on   (build-asan/)
+#   3. check_bench     BENCH_*.json perf baselines  (SKIP if absent)
+#   4. check_format    clang-format check-only      (SKIP if absent)
+#   5. -Werror build   full tree, warnings as errors (build-werror/)
+#   6. check_tidy      clang-tidy over that tree    (SKIP if absent)
+#   7. contract build  -DNASHLB_CHECK=ON + full ctest (build-check/)
+#   8. check_sanitize  ASan+UBSan with contracts on   (build-asan/)
 #
-# Tool-gated steps (3, 5) are skipped, not failed, on machines without
-# the LLVM tools — same convention as their ctest registrations.
+# Tool-gated steps (3, 4, 6) are skipped, not failed, on machines
+# without the tools or baselines — same convention as their ctest
+# registrations.
 #
 # Usage: tools/check_all.sh [repo-root]   (default: script's parent dir)
 set -eu
@@ -45,6 +47,9 @@ step "check_docs (README/docs drift)"
 
 step "lint_nashlb (repo-specific rules)"
 python3 "$root/tools/lint_nashlb.py" "$root"
+
+step "check_bench (perf baselines vs committed BENCH_*.json)"
+run_skippable check_bench python3 "$root/tools/check_bench.py" "$root"
 
 step "check_format (clang-format, check-only)"
 run_skippable check_format "$root/tools/check_format.sh" "$root"

@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""Performance-regression gate over the committed BENCH_*.json baselines.
+
+The scale bench (bench_scale) writes its machine-readable result to
+BENCH_<name>.json at the repo root, overwriting the committed baseline in
+the working tree. This gate diffs the working-tree file against the
+last-committed version (`git show HEAD:BENCH_<name>.json`) and fails when
+a fresh run regressed past the tolerance:
+
+  * timing fields (`*_seconds`) may grow by at most `--tolerance`
+    (relative; default 0.5 — benchmarks on shared CI boxes are noisy,
+    the gate catches structural regressions, not jitter);
+  * `speedup` may shrink by at most the same factor;
+  * structural fields (m, n, iterations, converged, equilibrium_check)
+    must match exactly — a changed iteration count means the algorithm
+    changed, which a perf PR must not do silently;
+  * quality floats (max_profile_diff, best_reply_gap) may not grow by
+    more than 10x past an absolute floor of 1e-9 — they are certificate
+    values near zero, so relative comparison alone is meaningless.
+
+Rows are matched by their (m, n) key; added or removed rows fail (the
+sweep grid is part of the baseline's contract).
+
+Every invocation first runs a built-in selftest: it injects a synthetic
+regression into an in-memory copy of the baseline and asserts the
+comparator flags it — a gate that cannot fail is worse than no gate.
+
+Usage:
+  tools/check_bench.py [--tolerance T] [repo-root]
+      ctest mode: compare every BENCH_*.json at the root against its
+      HEAD version. Exits 77 (ctest SKIP) when no baseline JSON or no
+      git history exists.
+  tools/check_bench.py --baseline A.json --fresh B.json [--tolerance T]
+      direct mode: compare two explicit files (used by the unit tests
+      and for ad-hoc A/B runs).
+
+Exit: 0 clean, 1 regression found, 77 nothing to check.
+"""
+
+import argparse
+import copy
+import json
+import os
+import subprocess
+import sys
+
+SKIP = 77
+
+TIMING_SUFFIX = "_seconds"
+QUALITY_FIELDS = ("max_profile_diff", "best_reply_gap")
+QUALITY_GROWTH = 10.0
+QUALITY_FLOOR = 1e-9
+EXACT_FIELDS = ("m", "n", "iterations", "converged", "equilibrium_check")
+
+
+def row_key(row):
+    return (row.get("m"), row.get("n"))
+
+
+def compare_rows(key, base, fresh, tolerance, errors):
+    prefix = "row m=%s n=%s" % key
+    for field in EXACT_FIELDS:
+        if base.get(field) != fresh.get(field):
+            errors.append("%s: %s changed %r -> %r (structural field must "
+                          "match exactly)" % (prefix, field, base.get(field),
+                                              fresh.get(field)))
+    for field, bval in base.items():
+        if field not in fresh or not isinstance(bval, float):
+            continue
+        fval = fresh[field]
+        if field.endswith(TIMING_SUFFIX):
+            if fval > bval * (1.0 + tolerance):
+                errors.append(
+                    "%s: %s regressed %.6g -> %.6g (+%.0f%%, tolerance "
+                    "%.0f%%)" % (prefix, field, bval, fval,
+                                 100.0 * (fval / bval - 1.0),
+                                 100.0 * tolerance))
+        elif field == "speedup":
+            if fval < bval * (1.0 - tolerance):
+                errors.append(
+                    "%s: speedup regressed %.6g -> %.6g (-%.0f%%, tolerance "
+                    "%.0f%%)" % (prefix, bval, fval,
+                                 100.0 * (1.0 - fval / bval),
+                                 100.0 * tolerance))
+        elif field in QUALITY_FIELDS:
+            if fval > max(bval * QUALITY_GROWTH, QUALITY_FLOOR):
+                errors.append(
+                    "%s: quality field %s degraded %.3g -> %.3g (>%gx)"
+                    % (prefix, field, bval, fval, QUALITY_GROWTH))
+
+
+def compare(baseline, fresh, tolerance):
+    """Returns a list of regression messages (empty = clean)."""
+    errors = []
+    base_rows = {row_key(r): r for r in baseline.get("rows", [])}
+    fresh_rows = {row_key(r): r for r in fresh.get("rows", [])}
+    for key in sorted(k for k in base_rows if k not in fresh_rows):
+        errors.append("row m=%s n=%s disappeared from the fresh run" % key)
+    for key in sorted(k for k in fresh_rows if k not in base_rows):
+        errors.append("row m=%s n=%s is new (regenerate the committed "
+                      "baseline to extend the grid)" % key)
+    for key in sorted(k for k in base_rows if k in fresh_rows):
+        compare_rows(key, base_rows[key], fresh_rows[key], tolerance, errors)
+    return errors
+
+
+def selftest(baseline, tolerance):
+    """The gate must flag an injected regression and pass the identity."""
+    if compare(baseline, baseline, tolerance):
+        return "selftest: baseline does not compare clean against itself"
+    rows = baseline.get("rows", [])
+    if not rows:
+        return "selftest: baseline has no rows to perturb"
+    hurt = copy.deepcopy(baseline)
+    injected = False
+    for field, val in hurt["rows"][-1].items():
+        if field.endswith(TIMING_SUFFIX) and isinstance(val, float):
+            hurt["rows"][-1][field] = val * (1.0 + 2.0 * (tolerance + 1.0))
+            injected = True
+            break
+    if not injected:
+        return "selftest: no timing field found to perturb"
+    if not compare(baseline, hurt, tolerance):
+        return "selftest: injected timing regression was not flagged"
+    return None
+
+
+def git_show(root, relpath):
+    try:
+        out = subprocess.run(
+            ["git", "-C", root, "show", "HEAD:" + relpath],
+            capture_output=True, check=True)
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    return out.stdout.decode("utf-8")
+
+
+def check_pair(name, baseline, fresh, tolerance):
+    failed = selftest(baseline, tolerance)
+    if failed:
+        print("check_bench: FAIL: %s: %s" % (name, failed), file=sys.stderr)
+        return 1
+    errors = compare(baseline, fresh, tolerance)
+    for e in errors:
+        print("check_bench: FAIL: %s: %s" % (name, e), file=sys.stderr)
+    if errors:
+        return 1
+    print("check_bench: OK: %s (%d rows, tolerance %.0f%%)"
+          % (name, len(baseline.get("rows", [])), 100.0 * tolerance))
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("root", nargs="?", default=None)
+    parser.add_argument("--tolerance", type=float, default=0.5,
+                        help="relative timing/speedup tolerance (default 0.5)")
+    parser.add_argument("--baseline", help="explicit baseline JSON")
+    parser.add_argument("--fresh", help="explicit fresh-run JSON")
+    args = parser.parse_args()
+
+    if (args.baseline is None) != (args.fresh is None):
+        parser.error("--baseline and --fresh must be given together")
+
+    if args.baseline:
+        with open(args.baseline, encoding="utf-8") as f:
+            baseline = json.load(f)
+        with open(args.fresh, encoding="utf-8") as f:
+            fresh = json.load(f)
+        return check_pair(os.path.basename(args.fresh), baseline, fresh,
+                          args.tolerance)
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    names = sorted(n for n in os.listdir(root)
+                   if n.startswith("BENCH_") and n.endswith(".json"))
+    if not names:
+        print("check_bench: SKIP: no BENCH_*.json at %s" % root)
+        return SKIP
+    status = 0
+    checked = 0
+    for name in names:
+        committed = git_show(root, name)
+        if committed is None:
+            print("check_bench: SKIP: %s has no committed version" % name)
+            continue
+        baseline = json.loads(committed)
+        with open(os.path.join(root, name), encoding="utf-8") as f:
+            fresh = json.load(f)
+        status |= check_pair(name, baseline, fresh, args.tolerance)
+        checked += 1
+    if checked == 0:
+        return SKIP
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

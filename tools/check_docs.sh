@@ -40,6 +40,15 @@ for doc in OBSERVABILITY STATIC_ANALYSIS; do
     fi
 done
 
+# The observability doc must describe every exported instrument family;
+# new sections guard against the doc silently lagging the obs layer.
+for section in "## Histograms" "## Span tracing"; do
+    if [ -f "$root/docs/OBSERVABILITY.md" ] && \
+       ! grep -q "^$section" "$root/docs/OBSERVABILITY.md"; then
+        fail "docs/OBSERVABILITY.md is missing its \"$section\" section"
+    fi
+done
+
 if [ "$status" -eq 0 ]; then
     echo "check_docs: OK ($(ls -d "$root"/src/*/ | wc -l | tr -d ' ') modules documented)"
 fi

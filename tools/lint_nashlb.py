@@ -21,11 +21,22 @@ on (see docs/STATIC_ANALYSIS.md):
       is a result nobody can reproduce from the docs.
 
   trace-arity
-      In any src/ file that defines a `*_trace_columns()` schema, every
-      `record({...})` call in that file must pass exactly as many cells
-      as the schema declares columns. The TraceSink enforces this at
-      runtime, but only on traced runs — this catches the skew at lint
-      time, before a benchmark burns an hour to produce a malformed CSV.
+      In any src/ file that defines a `*_trace_columns()`,
+      `*_trace_fields()` or `*_export_columns()` schema, every
+      `record({...})`, `add_row({...})` and `emit_event(..., {...})`
+      call in that file must pass exactly as many cells as the schema
+      declares columns. The sinks enforce this at runtime, but only on
+      instrumented runs — this catches the skew at lint time, before a
+      benchmark burns an hour to produce a malformed CSV or span trace.
+
+  histogram-bounds
+      The obs::Histogram bucket layout must be declared
+      programmatically: src/obs/histogram.hpp must expose
+      bucket_count()/bucket_lower_bound()/bucket_upper_bound(), and no
+      file outside src/obs/ may reference the layout constants
+      (kMinExponent, kMaxExponent, kBucketsPerOctave) — a consumer that
+      recomputes bucket edges by hand silently drifts the first time
+      the grid changes.
 
 Suppression: append `// nashlb-lint: allow(<rule>)` (with a reason) on
 the offending line or the line above it.
@@ -195,8 +206,47 @@ def count_cells(arg):
     return cells
 
 
+def top_level_brace_list(arg):
+    """Returns the first top-level `{...}` sub-list of a call's argument
+    text (string-aware), or None. For record()/add_row() the whole
+    argument is the list; for emit_event() it is the last argument."""
+    depth = 0
+    in_str = None
+    prev = ""
+    start = None
+    for i, ch in enumerate(arg):
+        if in_str:
+            if ch == in_str and prev != "\\":
+                in_str = None
+        elif ch in "\"'":
+            in_str = ch
+        elif ch == "{":
+            if depth == 0 and start is None:
+                start = i
+            depth += 1
+        elif ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth -= 1
+        elif ch == "}":
+            depth -= 1
+            if depth == 0 and start is not None:
+                return arg[start:i + 1]
+        prev = ch
+    return None
+
+
+SCHEMA_DECL_RE = re.compile(
+    r"(\w+_(?:trace_columns|trace_fields|export_columns))\s*\(\)\s*\{")
+# Calls whose braced cell list must match the file's schema arity. For
+# emit_event the list is one argument among several; for the others it
+# is the whole argument.
+ARITY_CALLS = ("record", "add_row", "emit_event")
+ARITY_CALL_RE = re.compile(r"\b(%s)\s*\(" % "|".join(ARITY_CALLS))
+
+
 def check_trace_arity(root, relpath, text, lines):
-    decl = re.search(r"(\w+_trace_columns)\s*\(\)\s*\{", text)
+    decl = SCHEMA_DECL_RE.search(text)
     if not decl:
         return
     # Columns: string literals inside the braced return list.
@@ -216,24 +266,63 @@ def check_trace_arity(root, relpath, text, lines):
             if depth == 0:
                 break
     columns = len(re.findall(r'"[^"]*"', text[brace_open:i + 1]))
-    # Every record(...) call in the same file must pass `columns` cells.
-    for m in re.finditer(r"\brecord\s*\(", text):
+    # Every emitting call in the same file must pass `columns` cells.
+    for m in ARITY_CALL_RE.finditer(text):
+        call = m.group(1)
         arg, end = parse_balanced(text, m.end() - 1)
         if arg is None:
             continue
-        cells = count_cells(arg)
         lineno = text.count("\n", 0, m.start()) + 1
         if suppressed(lines, lineno - 1, "trace-arity"):
             continue
-        if cells is None:
+        if call == "emit_event":
+            # The cell list is one argument among several; a match with
+            # no list at all is the function's own definition.
+            cells = count_cells(top_level_brace_list(arg) or "")
+            if cells is None:
+                continue
+        else:
+            cells = count_cells(arg)
+            if cells is None:
+                report(relpath, lineno, "trace-arity",
+                       "%s() argument is not a braced cell list; cannot "
+                       "check arity against %s (suppress with a comment "
+                       "if intentional)" % (call, decl.group(1)))
+                continue
+        if cells != columns:
             report(relpath, lineno, "trace-arity",
-                   "record() argument is not a braced cell list; cannot "
-                   "check arity against %s (suppress with a comment if "
-                   "intentional)" % decl.group(1))
-        elif cells != columns:
-            report(relpath, lineno, "trace-arity",
-                   "record() passes %d cells but %s declares %d columns"
-                   % (cells, decl.group(1), columns))
+                   "%s() passes %d cells but %s declares %d columns"
+                   % (call, cells, decl.group(1), columns))
+
+
+HISTOGRAM_LAYOUT_HPP = os.path.join("src", "obs", "histogram.hpp")
+HISTOGRAM_BOUNDS_API = ("bucket_count", "bucket_lower_bound",
+                        "bucket_upper_bound")
+HISTOGRAM_CONST_RE = re.compile(
+    r"\bkMinExponent\b|\bkMaxExponent\b|\bkBucketsPerOctave\b")
+
+
+def check_histogram_bounds(root, relpath, text, lines):
+    if relpath == HISTOGRAM_LAYOUT_HPP:
+        for api in HISTOGRAM_BOUNDS_API:
+            if not re.search(r"\b%s\s*\(" % api, text):
+                report(relpath, 1, "histogram-bounds",
+                       "HistogramLayout no longer declares %s(); consumers "
+                       "need the programmatic bucket-bounds API" % api)
+        return
+    if relpath.startswith(os.path.join("src", "obs") + os.sep):
+        return  # the layout's own implementation may use its constants
+    code = [strip_comments_and_strings(l) for l in lines]
+    for idx, line in enumerate(code):
+        m = HISTOGRAM_CONST_RE.search(line)
+        if not m:
+            continue
+        if suppressed(lines, idx, "histogram-bounds"):
+            continue
+        report(relpath, idx + 1, "histogram-bounds",
+               "%s referenced outside src/obs/: derive bucket edges via "
+               "HistogramLayout::bucket_lower_bound()/bucket_upper_bound() "
+               "instead of recomputing the grid" % m.group(0))
 
 
 def main():
@@ -251,13 +340,14 @@ def main():
         lines = text.split("\n")
         check_alloc_in_hot_path(root, relpath, lines)
         check_trace_arity(root, relpath, text, lines)
+        check_histogram_bounds(root, relpath, text, lines)
     check_bench_registered(root)
 
     if errors:
         for e in errors:
             print("lint_nashlb: FAIL: " + e, file=sys.stderr)
         return 1
-    print("lint_nashlb: OK (%d src files, 3 rules)" % len(src_files))
+    print("lint_nashlb: OK (%d src files, 4 rules)" % len(src_files))
     return 0
 
 
