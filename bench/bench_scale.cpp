@@ -7,7 +7,7 @@
 // Gauss–Seidel round cost O(m²·n). The incremental core (core/load_state)
 // carries the loads across the loop and makes a round O(m·n).
 //
-// This bench sweeps (m users, n computers) up to 1024×64 and, per size:
+// This bench sweeps (m users, n computers) up to 4096×64 and, per size:
 //   * times a block of full best-reply rounds under the old path (the
 //     still-available allocating APIs, recompute-from-scratch) and under
 //     the incremental path, and reports the per-round speedup;
@@ -16,9 +16,12 @@
 //     sizes where the old path is not prohibitively slow — the old path
 //     too, verifying both converge to the same equilibrium within 1e-10.
 //
-// Outputs: bench_results/scale.csv (one row per size) and a machine-
-// readable BENCH_scale.json with the headline speedup at m=512, n=64 —
-// the perf trajectory future PRs measure against (see docs/PERFORMANCE.md).
+// Outputs: bench_results/scale.csv (one row per size), an informational
+// pooled-Jacobi threads sweep in bench_results/scale_threads.csv (the
+// gated threads grid lives in bench_parallel / BENCH_parallel.json), and
+// a machine-readable BENCH_scale.json with the headline speedup at
+// m=512, n=64 — the perf trajectory future PRs measure against (see
+// docs/PERFORMANCE.md).
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -250,6 +253,79 @@ void write_json(const std::vector<SizeResult>& rows,
   std::fclose(f);
 }
 
+/// Wall seconds per Jacobi round at a given thread count, plus the final
+/// profile for the bitwise cross-check. The dynamics runs a fixed block
+/// of Simultaneous rounds (tolerance 0 so it never stops early unless it
+/// diverges, in which case every thread count diverges on the same
+/// round and the comparison still holds).
+std::pair<double, core::StrategyProfile> jacobi_rounds(
+    const core::Instance& inst, std::size_t threads, std::size_t rounds) {
+  core::DynamicsOptions opts;
+  opts.init = core::Initialization::Proportional;
+  opts.order = core::UpdateOrder::Simultaneous;
+  opts.tolerance = 0.0;
+  opts.max_iterations = rounds;
+  opts.threads = threads;
+  double best = 0.0;
+  core::StrategyProfile end(inst.num_users(), inst.num_computers());
+  std::size_t iterations = rounds;
+  for (int rep = 0; rep < kTimingRepeats; ++rep) {
+    const double t0 = now_seconds();
+    core::DynamicsResult res = core::best_reply_dynamics(inst, opts);
+    const double dt = now_seconds() - t0;
+    if (rep == 0 || dt < best) best = dt;
+    iterations = res.iterations;
+    end = std::move(res.profile);
+  }
+  return {best / static_cast<double>(iterations == 0 ? 1 : iterations),
+          std::move(end)};
+}
+
+/// The pooled-Jacobi threads sweep (informational, CSV-only: wall times
+/// on a shared box are too noisy to gate; BENCH_parallel.json carries
+/// the gated grid). The bitwise cross-check against threads=1 is still
+/// enforced here — determinism is not allowed to be noisy.
+bool run_threads_sweep() {
+  const std::vector<std::pair<std::size_t, std::size_t>> sizes = {
+      {512, 64}, {1024, 64}, {4096, 64}};
+  constexpr std::size_t kRounds = 5;
+  util::Table table(
+      {"m", "n", "threads", "round (s)", "speedup vs 1", "max |Δs|"});
+  auto csv = bench::csv("scale_threads",
+                        {"m", "n", "threads", "round_seconds",
+                         "speedup_vs_serial", "max_profile_diff"});
+  bool ok = true;
+  for (const auto& [m, n] : sizes) {
+    const core::Instance inst = scaled_instance(m, n);
+    const auto [serial_seconds, serial_profile] =
+        jacobi_rounds(inst, 1, kRounds);
+    for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+      const auto [seconds, profile] =
+          threads == 1 ? std::pair{serial_seconds, serial_profile}
+                       : jacobi_rounds(inst, threads, kRounds);
+      const double diff = serial_profile.max_difference(profile);
+      table.add_row({std::to_string(m), std::to_string(n),
+                     std::to_string(threads), bench::num(seconds),
+                     bench::num(serial_seconds / seconds), bench::num(diff)});
+      if (csv) {
+        csv->add_row({std::to_string(m), std::to_string(n),
+                      std::to_string(threads), bench::num(seconds),
+                      bench::num(serial_seconds / seconds),
+                      bench::num(diff)});
+      }
+      if (diff != 0.0) {
+        std::printf("FAIL: pooled Jacobi differs from serial at m=%zu "
+                    "n=%zu threads=%zu (|Δs| = %.3e)\n",
+                    m, n, threads, diff);
+        ok = false;
+      }
+    }
+  }
+  std::printf("pooled Jacobi threads sweep (%zu rounds per block):\n%s\n",
+              kRounds, table.str().c_str());
+  return ok;
+}
+
 }  // namespace
 
 int main() {
@@ -258,8 +334,8 @@ int main() {
                 "60% utilization; per-round wall time of both paths");
 
   const std::vector<std::pair<std::size_t, std::size_t>> sweep = {
-      {32, 16}, {128, 16}, {512, 16}, {32, 64},
-      {128, 64}, {512, 64}, {1024, 64}};
+      {32, 16}, {128, 16}, {512, 16}, {32, 64}, {128, 64},
+      {512, 64}, {1024, 64}, {2048, 64}, {4096, 64}};
 
   util::Table table({"m", "n", "old round (s)", "incr round (s)", "speedup",
                      "iters", "equilibrium check", "max |Δs|", "gap (s)"});
@@ -295,7 +371,7 @@ int main() {
 
   write_json(rows, headline);
 
-  bool ok = true;
+  bool ok = run_threads_sweep();
   if (headline) {
     std::printf("headline (m=512, n=64): %.1fx per-round speedup, "
                 "paths agree to %.2e\n",
@@ -318,7 +394,8 @@ int main() {
       ok = false;
     }
   }
-  std::printf("%s; wrote bench_results/scale.csv and BENCH_scale.json\n",
+  std::printf("%s; wrote bench_results/scale.csv, "
+              "bench_results/scale_threads.csv and BENCH_scale.json\n",
               ok ? "all checks passed" : "CHECKS FAILED");
   return ok ? 0 : 1;
 }

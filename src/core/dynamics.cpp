@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
 
@@ -12,6 +13,7 @@
 #include "core/load_state.hpp"
 #include "stats/rng.hpp"
 #include "util/contracts.hpp"
+#include "util/parallel.hpp"
 
 namespace nashlb::core {
 
@@ -112,6 +114,29 @@ DynamicsResult run(const Instance& inst, StrategyProfile profile,
 
   const bool sequential = options.order == UpdateOrder::RoundRobin ||
                           options.order == UpdateOrder::RandomOrder;
+  // Parallel execution is a Jacobi-only option: a sequential order is
+  // *defined* by user j reading users 1..j-1's round-l moves, so running
+  // it on a pool would silently compute a different (Jacobi-ish) round.
+  // The contract catches the misconfiguration in checked builds; the
+  // fallback below keeps unchecked builds on the correct serial path.
+  const std::size_t threads =
+      options.threads == 1 ? 1 : util::resolve_threads(options.threads);
+  NASHLB_EXPECT(threads <= 1 || !sequential,
+                "DynamicsOptions::threads=%zu with a sequential update "
+                "order: only UpdateOrder::Simultaneous (Jacobi) rounds are "
+                "order-free; use threads=1 for RoundRobin/RandomOrder",
+                threads);
+  std::unique_ptr<util::ThreadPool> pool;
+  std::vector<BestReplyWorkspace> worker_ws;
+  std::vector<double> round_times;      // d_j of the pooled Jacobi round
+  std::vector<char> round_computable;   // replies_computable per user
+  if (!sequential && threads > 1) {
+    pool = std::make_unique<util::ThreadPool>(threads);
+    worker_ws.resize(pool->size());
+    for (BestReplyWorkspace& w : worker_ws) w.resize(inst.num_computers());
+    round_times.resize(m);
+    round_computable.assign(m, 1);
+  }
   for (std::size_t round = 1; round <= options.max_iterations; ++round) {
     if (round > 1 && sequential) state.rebuild(result.profile);
     obs::SpanId round_span{};
@@ -147,28 +172,61 @@ DynamicsResult run(const Instance& inst, StrategyProfile profile,
       // Jacobi: all replies against the round-(l-1) profile. The state's
       // loads stay frozen while the rows are overwritten — each user's
       // available rates need only the frozen loads and its own not-yet-
-      // replaced row, so no copy of the profile is made.
-      for (std::size_t j = 0; j < m; ++j) {
-        obs::SpanId reply_span{};
-        if (obs::kEnabled && options.spans) {
-          reply_span = options.spans->begin("reply", "dynamics", 0,
-                                            static_cast<std::int64_t>(j));
+      // replaced row, so no copy of the profile is made. This is also
+      // why the round parallelizes exactly: user j reads only the frozen
+      // loads and row j, and writes only row j, so the pooled loop
+      // touches disjoint rows and each reply is bit-identical to its
+      // serial counterpart regardless of scheduling.
+      if (pool) {
+        pool->parallel_for(0, m, 1, [&](std::size_t j, std::size_t w) {
+          result.profile.set_row(
+              j, best_reply_into(inst, result.profile, state, j,
+                                 worker_ws[w]));
+        });
+      } else {
+        for (std::size_t j = 0; j < m; ++j) {
+          obs::SpanId reply_span{};
+          if (obs::kEnabled && options.spans) {
+            reply_span = options.spans->begin("reply", "dynamics", 0,
+                                              static_cast<std::int64_t>(j));
+          }
+          result.profile.set_row(
+              j, best_reply_into(inst, result.profile, state, j, ws));
+          if (obs::kEnabled && options.spans) options.spans->end(reply_span);
         }
-        result.profile.set_row(
-            j, best_reply_into(inst, result.profile, state, j, ws));
-        if (obs::kEnabled && options.spans) options.spans->end(reply_span);
       }
       state.rebuild(result.profile);
       // The combined move can overload computers; detect and stop.
       bool ok = true;
-      for (std::size_t j = 0; j < m && ok; ++j) {
-        ok = replies_computable(state, result.profile, j, ws.avail);
-      }
-      for (std::size_t j = 0; j < m; ++j) {
-        const double d = state.user_response_time(result.profile, j);
-        if (!std::isfinite(d)) ok = false;
-        norm += std::fabs(d - last_times[j]);
-        last_times[j] = d;
+      if (pool) {
+        // Per-user feasibility and response times fan out over the pool
+        // (each user writes its own slot); the norm and the ok flag then
+        // reduce serially in user order, so the fold order — and the
+        // resulting bits — match the serial path exactly.
+        pool->parallel_for(0, m, 1, [&](std::size_t j, std::size_t w) {
+          round_computable[j] = replies_computable(state, result.profile, j,
+                                                   worker_ws[w].avail)
+                                    ? 1
+                                    : 0;
+          round_times[j] = state.user_response_time(result.profile, j);
+        });
+        for (std::size_t j = 0; j < m; ++j) {
+          if (round_computable[j] == 0) ok = false;
+          const double d = round_times[j];
+          if (!std::isfinite(d)) ok = false;
+          norm += std::fabs(d - last_times[j]);
+          last_times[j] = d;
+        }
+      } else {
+        for (std::size_t j = 0; j < m && ok; ++j) {
+          ok = replies_computable(state, result.profile, j, ws.avail);
+        }
+        for (std::size_t j = 0; j < m; ++j) {
+          const double d = state.user_response_time(result.profile, j);
+          if (!std::isfinite(d)) ok = false;
+          norm += std::fabs(d - last_times[j]);
+          last_times[j] = d;
+        }
       }
       if (!ok) {
         result.iterations = round;

@@ -72,8 +72,24 @@ struct DynamicsOptions {
   /// "round" span (id = round index) enclosing one "reply" span per user
   /// update (id = user index). Export with
   /// SpanTracer::write_chrome_trace for chrome://tracing / Perfetto. A
-  /// no-op when the obs layer is compiled out.
+  /// no-op when the obs layer is compiled out. The tracer is not
+  /// thread-safe, so a pooled Jacobi run (threads != 1) records only the
+  /// per-round spans; the per-reply spans require threads = 1.
   obs::SpanTracer* spans = nullptr;
+  /// Worker threads for the Jacobi (Simultaneous) round: 1 = serial (the
+  /// default — byte-for-byte the pre-parallel code path), 0 = auto
+  /// (NASHLB_THREADS env, else hardware concurrency — see
+  /// util::resolve_threads), k > 1 = exactly k workers. Each worker
+  /// replies from its own BestReplyWorkspace against the frozen
+  /// round-(l-1) loads and writes only its own users' rows; the new
+  /// profile and the convergence norm are then reduced in user order, so
+  /// the result is bitwise independent of the thread count
+  /// (tests/core/test_dynamics.cpp pins this). The sequential orders
+  /// (RoundRobin, RandomOrder) are inherently ordered — user j's reply
+  /// reads users 1..j-1's round-l moves — so threads > 1 with them is a
+  /// contract violation (NASHLB_EXPECT aborts under -DNASHLB_CHECK=ON);
+  /// unchecked builds fall back to the serial path.
+  std::size_t threads = 1;
 };
 
 /// Outcome of a run of the dynamics.

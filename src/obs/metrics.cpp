@@ -15,6 +15,12 @@ std::vector<std::string> registry_export_columns() {
 
 namespace detail {
 
+void EnabledRegistry::merge(const EnabledRegistry& other) {
+  for (const auto& [name, c] : other.counters_) counters_[name].merge(c);
+  for (const auto& [name, t] : other.timers_) timers_[name].merge(t);
+  for (const auto& [name, h] : other.histograms_) histograms_[name].merge(h);
+}
+
 std::vector<MetricSnapshot> EnabledRegistry::snapshot() const {
   std::vector<MetricSnapshot> out;
   out.reserve(size());

@@ -38,6 +38,8 @@ namespace detail {
 class EnabledCounter {
  public:
   void add(std::uint64_t n = 1) noexcept { value_ += n; }
+  /// Folds another counter's total into this one (shard reduction).
+  void merge(const EnabledCounter& other) noexcept { value_ += other.value_; }
   [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
   void reset() noexcept { value_ = 0; }
 
@@ -66,6 +68,16 @@ class EnabledTimer {
                  double batch_max) noexcept {
     add_batch(total, n);
     if (n != 0) note_extreme(batch_min, batch_max);
+  }
+  /// Folds another timer into this one (shard reduction): totals and
+  /// counts sum; extremes fold by min/max, but only when `other`
+  /// actually observed extremes (a shard fed exclusively by extreme-less
+  /// add_batch calls contributes none, exactly as if its batches had
+  /// been folded here directly).
+  void merge(const EnabledTimer& other) noexcept {
+    total_seconds_ += other.total_seconds_;
+    count_ += other.count_;
+    if (other.min_ <= other.max_) note_extreme(other.min_, other.max_);
   }
   [[nodiscard]] double total_seconds() const noexcept { return total_seconds_; }
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
@@ -134,6 +146,7 @@ class EnabledScopedTimer {
 class NullCounter {
  public:
   void add(std::uint64_t = 1) noexcept {}
+  void merge(const NullCounter&) noexcept {}
   [[nodiscard]] constexpr std::uint64_t value() const noexcept { return 0; }
   void reset() noexcept {}
 };
@@ -143,6 +156,7 @@ class NullTimer {
   void add_seconds(double) noexcept {}
   void add_batch(double, std::uint64_t) noexcept {}
   void add_batch(double, std::uint64_t, double, double) noexcept {}
+  void merge(const NullTimer&) noexcept {}
   [[nodiscard]] constexpr double total_seconds() const noexcept { return 0.0; }
   [[nodiscard]] constexpr std::uint64_t count() const noexcept { return 0; }
   [[nodiscard]] constexpr double min_seconds() const noexcept { return 0.0; }
@@ -188,7 +202,9 @@ namespace detail {
 
 /// Named metric store. References returned by counter()/timer() stay
 /// valid for the registry's lifetime (node-based map). Not thread-safe;
-/// give each thread its own registry and merge, or publish after joining.
+/// the sharding pattern (docs/OBSERVABILITY.md, "Sharded registries") is
+/// one registry per worker, merged in worker/index order after the join
+/// — never a shared registry under concurrent mutation.
 class EnabledRegistry {
  public:
   /// Returns (creating on first use) the counter named `name`.
@@ -199,6 +215,14 @@ class EnabledRegistry {
   EnabledHistogram& histogram(const std::string& name) {
     return histograms_[name];
   }
+
+  /// Folds another registry (a per-thread shard) into this one, metric
+  /// by metric: counters sum, timers fold totals/counts and min/max
+  /// extremes, histograms merge cell-by-cell. Metrics only named in
+  /// `other` are created here. Merging shards in a fixed order yields a
+  /// result independent of how work was scheduled across threads (the
+  /// only float folds are sums of each shard's subtotals in that order).
+  void merge(const EnabledRegistry& other);
 
   [[nodiscard]] std::size_t size() const noexcept {
     return counters_.size() + timers_.size() + histograms_.size();
@@ -230,6 +254,7 @@ class NullRegistry {
   NullCounter& counter(const std::string&) noexcept { return counter_; }
   NullTimer& timer(const std::string&) noexcept { return timer_; }
   NullHistogram& histogram(const std::string&) noexcept { return histogram_; }
+  void merge(const NullRegistry&) noexcept {}
   [[nodiscard]] constexpr std::size_t size() const noexcept { return 0; }
   [[nodiscard]] std::vector<MetricSnapshot> snapshot() const { return {}; }
   void write_csv(const std::string&) const noexcept {}

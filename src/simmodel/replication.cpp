@@ -1,10 +1,10 @@
 #include "simmodel/replication.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <stdexcept>
-#include <thread>
+
+#include "util/parallel.hpp"
 
 namespace nashlb::simmodel {
 
@@ -23,37 +23,28 @@ ReplicatedResult replicate(const core::Instance& inst,
   const std::size_t r_total = config.replications;
   std::vector<SimRunResult> runs(r_total);
   std::vector<double> wall_seconds(r_total, 0.0);
+  // One metrics shard per replication: the shard is private to the
+  // worker while the run executes, and the shards merge below — after
+  // the join, in replication order — so the reduced registry is
+  // identical whatever the thread count.
+  std::vector<obs::Registry> shards(config.metrics != nullptr ? r_total : 0);
 
-  std::size_t workers = config.threads;
-  if (workers == 0) {
-    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  }
-  workers = std::min(workers, r_total);
+  const std::size_t workers =
+      std::min(util::resolve_threads(config.threads), r_total);
 
-  // Work-stealing by atomic counter: replication r is fully determined by
-  // its index, so scheduling order cannot affect results.
-  std::atomic<std::size_t> next{0};
-  auto worker = [&]() {
-    for (;;) {
-      const std::size_t r = next.fetch_add(1);
-      if (r >= r_total) return;
-      SimConfig cfg = config.base;
-      cfg.replication = r;
-      const auto start = std::chrono::steady_clock::now();
-      runs[r] = simulate(inst, profile, cfg);
-      wall_seconds[r] = std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - start)
-                            .count();
-    }
-  };
-  if (workers == 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
-  }
+  // Replication r is fully determined by its index (stream family r),
+  // so each pool index computes the same run wherever it is scheduled.
+  util::ThreadPool pool(workers);
+  pool.parallel_for(0, r_total, 1, [&](std::size_t r, std::size_t) {
+    SimConfig cfg = config.base;
+    cfg.replication = r;
+    cfg.metrics = shards.empty() ? nullptr : &shards[r];
+    const auto start = std::chrono::steady_clock::now();
+    runs[r] = simulate(inst, profile, cfg);
+    wall_seconds[r] = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  });
 
   const std::size_t m = inst.num_users();
   const std::size_t n = inst.num_computers();
@@ -76,12 +67,19 @@ ReplicatedResult replicate(const core::Instance& inst,
     out.overall_response = stats::t_interval(means, config.confidence);
   }
   out.computer_utilization.assign(n, 0.0);
+  out.computer_sojourn.assign(n, obs::Histogram{});
   for (const SimRunResult& run : runs) {
     out.total_jobs += run.jobs_generated;
     for (std::size_t i = 0; i < n; ++i) {
       out.computer_utilization[i] +=
           run.computer_utilization[i] / static_cast<double>(r_total);
+      if (obs::kEnabled && i < run.computer_sojourn.size()) {
+        out.computer_sojourn[i].merge(run.computer_sojourn[i]);
+      }
     }
+  }
+  if (config.metrics != nullptr) {
+    for (const obs::Registry& shard : shards) config.metrics->merge(shard);
   }
   if (obs::kEnabled && config.trace) {
     for (std::size_t r = 0; r < r_total; ++r) {

@@ -24,13 +24,26 @@ struct ReplicationConfig {
   SimConfig base;                 ///< per-run parameters (seed, horizon...)
   std::size_t replications = 5;   ///< the paper's count
   double confidence = 0.95;
-  /// Worker threads; 0 = hardware concurrency, 1 = sequential.
+  /// Worker threads for the replication fan-out (util::ThreadPool):
+  /// 0 = auto (NASHLB_THREADS env, else hardware concurrency),
+  /// 1 = sequential, k > 1 = exactly k workers. Replication r always
+  /// runs with stream family r regardless of which worker executes it,
+  /// so every replication's sample path is bitwise identical to the
+  /// sequential run (tests/simmodel/test_replication.cpp pins this).
   std::size_t threads = 0;
   /// Optional per-replication trace (not owned, may be null): one row per
   /// replication under the `replication_trace_columns()` schema. Rows are
   /// appended after the workers join, in replication order, so the sink
   /// needs no synchronization.
   obs::TraceSink* trace = nullptr;
+  /// Optional metrics sink (not owned, may be null): each replication
+  /// publishes its DES metrics (see SimConfig::metrics) into a private
+  /// shard registry; after the workers join the shards merge into this
+  /// registry in replication order (counters sum, timers fold extremes,
+  /// histograms merge cell-by-cell), so the merged registry is identical
+  /// for every thread count. `base.metrics` is ignored — the shard takes
+  /// its place. A no-op when the obs layer is compiled out.
+  obs::Registry* metrics = nullptr;
 };
 
 /// Schema of the per-replication trace, in column order: replication
@@ -47,6 +60,10 @@ struct ReplicatedResult {
   stats::ConfidenceInterval overall_response;
   /// Mean per-computer utilization across replications.
   std::vector<double> computer_utilization;
+  /// Per-computer sojourn histograms merged across all replications
+  /// (cell-by-cell; see obs::Histogram::merge), in replication order.
+  /// Empty histograms when the obs layer is compiled out.
+  std::vector<obs::Histogram> computer_sojourn;
   /// Total jobs generated across all replications.
   std::uint64_t total_jobs = 0;
   /// Host wall-clock seconds each replication took (by replication index;

@@ -143,6 +143,12 @@ SimRunResult simulate(const core::Instance& inst,
     result.computer_mean_queue[i] = computers[i]->mean_queue_length(sim.now());
     result.computer_sojourn.push_back(computers[i]->sojourn_histogram());
   }
+  if (obs::kEnabled && config.metrics) {
+    sim.publish_metrics(*config.metrics);
+    for (std::size_t i = 0; i < n; ++i) {
+      computers[i]->publish_metrics(*config.metrics, sim.now());
+    }
+  }
   return result;
 }
 

@@ -164,6 +164,67 @@ TEST(Dynamics, JacobiVariantRunsAndReportsHonestly) {
   }
 }
 
+TEST(Dynamics, JacobiIsBitwiseIdenticalAcrossThreadCounts) {
+  // The tentpole determinism claim: a pooled Jacobi round reads only the
+  // frozen loads and the user's own row, so every thread count — and the
+  // serial path — must produce the same bits, not just the same limits.
+  const Instance inst = hetero_instance(16, 0.5);
+  DynamicsOptions base;
+  base.order = UpdateOrder::Simultaneous;
+  base.tolerance = 1e-10;
+  base.max_iterations = 300;
+  base.threads = 1;
+  const DynamicsResult serial = best_reply_dynamics(inst, base);
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    DynamicsOptions opts = base;
+    opts.threads = threads;
+    const DynamicsResult pooled = best_reply_dynamics(inst, opts);
+    EXPECT_EQ(pooled.iterations, serial.iterations) << threads << " threads";
+    EXPECT_EQ(pooled.converged, serial.converged) << threads << " threads";
+    EXPECT_EQ(pooled.profile.max_difference(serial.profile), 0.0)
+        << threads << " threads";
+    ASSERT_EQ(pooled.norm_history.size(), serial.norm_history.size());
+    for (std::size_t r = 0; r < serial.norm_history.size(); ++r) {
+      EXPECT_EQ(pooled.norm_history[r], serial.norm_history[r])
+          << threads << " threads, round " << r + 1;
+    }
+  }
+}
+
+TEST(Dynamics, JacobiAutoThreadsMatchesSerialBitwise) {
+  // threads = 0 resolves via NASHLB_THREADS / hardware concurrency;
+  // whatever it picks, the bits must not move.
+  const Instance inst = hetero_instance(8, 0.6);
+  DynamicsOptions serial;
+  serial.order = UpdateOrder::Simultaneous;
+  serial.tolerance = 1e-9;
+  serial.max_iterations = 300;
+  DynamicsOptions autod = serial;
+  autod.threads = 0;
+  const DynamicsResult a = best_reply_dynamics(inst, serial);
+  const DynamicsResult b = best_reply_dynamics(inst, autod);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.profile.max_difference(b.profile), 0.0);
+}
+
+TEST(Dynamics, PooledJacobiDivergenceIsDetectedIdentically) {
+  // Near saturation Jacobi overshoots; the pooled feasibility scan must
+  // flag the same round the serial scan does.
+  const Instance inst = hetero_instance(12, 0.95);
+  DynamicsOptions serial;
+  serial.order = UpdateOrder::Simultaneous;
+  serial.max_iterations = 50;
+  serial.tolerance = 1e-12;
+  DynamicsOptions pooled = serial;
+  pooled.threads = 4;
+  const DynamicsResult a = best_reply_dynamics(inst, serial);
+  const DynamicsResult b = best_reply_dynamics(inst, pooled);
+  EXPECT_EQ(a.diverged, b.diverged);
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.profile.max_difference(b.profile), 0.0);
+}
+
 TEST(Dynamics, RandomOrderConvergesToTheSameEquilibrium) {
   const Instance inst = hetero_instance(6, 0.7);
   DynamicsOptions rr;

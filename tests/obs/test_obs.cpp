@@ -112,6 +112,91 @@ TEST(ObsMetrics, TimerTracksExtremes) {
   EXPECT_DOUBLE_EQ(t.max_seconds(), 0.0);
 }
 
+TEST(ObsMetrics, CounterMergeSumsShards) {
+  obs::detail::EnabledCounter a;
+  obs::detail::EnabledCounter b;
+  a.add(40);
+  b.add(2);
+  a.merge(b);
+  EXPECT_EQ(a.value(), 42u);
+  EXPECT_EQ(b.value(), 2u);  // the source shard is untouched
+}
+
+TEST(ObsMetrics, TimerMergeFoldsTotalsAndExtremes) {
+  obs::detail::EnabledTimer a;
+  obs::detail::EnabledTimer b;
+  a.add_seconds(1.0);
+  b.add_seconds(0.25);
+  b.add_seconds(4.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.total_seconds(), 5.25);
+  EXPECT_DOUBLE_EQ(a.min_seconds(), 0.25);
+  EXPECT_DOUBLE_EQ(a.max_seconds(), 4.0);
+  // A shard with no recorded extremes (extreme-less batches only) must
+  // not disturb the target's extremes — including a legitimate min of 0.
+  obs::detail::EnabledTimer batch_only;
+  batch_only.add_batch(10.0, 5);
+  a.merge(batch_only);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_DOUBLE_EQ(a.total_seconds(), 15.25);
+  EXPECT_DOUBLE_EQ(a.min_seconds(), 0.25);
+  EXPECT_DOUBLE_EQ(a.max_seconds(), 4.0);
+  // Merging into an empty timer adopts the source's extremes verbatim.
+  obs::detail::EnabledTimer empty;
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.min_seconds(), 0.25);
+  EXPECT_DOUBLE_EQ(empty.max_seconds(), 4.0);
+}
+
+TEST(ObsMetrics, RegistryMergeReducesShardsMetricByMetric) {
+  // The sharding pattern behind parallel replications: one registry per
+  // worker, merged in a fixed order after the join.
+  obs::detail::EnabledRegistry total;
+  obs::detail::EnabledRegistry shard1;
+  obs::detail::EnabledRegistry shard2;
+  total.counter("jobs").add(1);
+  shard1.counter("jobs").add(10);
+  shard1.timer("busy").add_seconds(0.5);
+  shard1.histogram("sojourn").record(0.125);
+  shard2.counter("jobs").add(100);
+  shard2.counter("only_in_shard2").add(7);
+  shard2.timer("busy").add_seconds(1.5);
+  shard2.histogram("sojourn").record(2.0);
+  total.merge(shard1);
+  total.merge(shard2);
+  EXPECT_EQ(total.counter("jobs").value(), 111u);
+  EXPECT_EQ(total.counter("only_in_shard2").value(), 7u);
+  EXPECT_EQ(total.timer("busy").count(), 2u);
+  EXPECT_DOUBLE_EQ(total.timer("busy").total_seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(total.timer("busy").min_seconds(), 0.5);
+  EXPECT_DOUBLE_EQ(total.timer("busy").max_seconds(), 1.5);
+  EXPECT_EQ(total.histogram("sojourn").count(), 2u);
+  EXPECT_DOUBLE_EQ(total.histogram("sojourn").min(), 0.125);
+  EXPECT_DOUBLE_EQ(total.histogram("sojourn").max(), 2.0);
+  // Merge order over disjoint shards is associative for these folds:
+  // merging the other way round yields the same reduced metrics.
+  obs::detail::EnabledRegistry reversed;
+  reversed.counter("jobs").add(1);
+  reversed.merge(shard2);
+  reversed.merge(shard1);
+  EXPECT_EQ(reversed.counter("jobs").value(), 111u);
+  EXPECT_DOUBLE_EQ(reversed.timer("busy").min_seconds(), 0.5);
+  EXPECT_EQ(reversed.histogram("sojourn").count(), 2u);
+}
+
+TEST(ObsMetrics, NullTwinsMergeAsNoOps) {
+  obs::detail::NullCounter nc;
+  nc.merge(obs::detail::NullCounter{});
+  EXPECT_EQ(nc.value(), 0u);
+  obs::detail::NullTimer nt;
+  nt.merge(obs::detail::NullTimer{});
+  EXPECT_EQ(nt.count(), 0u);
+  obs::detail::NullRegistry nr;
+  nr.merge(obs::detail::NullRegistry{});
+  EXPECT_EQ(nr.size(), 0u);
+}
+
 TEST(ObsMetrics, ScopedTimerChargesOnExit) {
   obs::detail::EnabledTimer t;
   {

@@ -64,6 +64,102 @@ TEST(Replication, DeterministicAcrossThreadCounts) {
   }
 }
 
+TEST(Replication, SamplePathsArePinnedToStreamFamilies) {
+  // Replication r always runs with RNG stream family r, so every run's
+  // sample path must be bitwise identical whether the fan-out is
+  // sequential, pooled, or auto-sized — exact equality, not tolerance.
+  const core::Instance inst = instance();
+  const core::StrategyProfile s = core::StrategyProfile::proportional(inst);
+  ReplicationConfig seq = quick_config(6);
+  seq.base.horizon = 400.0;
+  seq.threads = 1;
+  const ReplicatedResult a = replicate(inst, s, seq);
+  for (std::size_t threads : {0u, 2u, 3u, 8u}) {
+    ReplicationConfig par = seq;
+    par.threads = threads;
+    const ReplicatedResult b = replicate(inst, s, par);
+    for (std::size_t r = 0; r < 6; ++r) {
+      EXPECT_EQ(a.runs[r].jobs_generated, b.runs[r].jobs_generated)
+          << "threads=" << threads << " rep=" << r;
+      EXPECT_EQ(a.runs[r].jobs_completed, b.runs[r].jobs_completed)
+          << "threads=" << threads << " rep=" << r;
+      EXPECT_EQ(a.runs[r].end_time, b.runs[r].end_time)
+          << "threads=" << threads << " rep=" << r;
+      EXPECT_EQ(a.runs[r].overall_mean_response,
+                b.runs[r].overall_mean_response)
+          << "threads=" << threads << " rep=" << r;
+      for (std::size_t j = 0; j < 2; ++j) {
+        EXPECT_EQ(a.runs[r].user_mean_response[j],
+                  b.runs[r].user_mean_response[j])
+            << "threads=" << threads << " rep=" << r << " user=" << j;
+      }
+    }
+    EXPECT_EQ(a.overall_response.mean, b.overall_response.mean);
+    EXPECT_EQ(a.overall_response.half_width, b.overall_response.half_width);
+  }
+}
+
+TEST(Replication, MergedSojournHistogramsSumTheRuns) {
+  const core::Instance inst = instance();
+  const core::StrategyProfile s = core::StrategyProfile::proportional(inst);
+  ReplicationConfig cfg = quick_config(3);
+  cfg.base.horizon = 300.0;
+  const ReplicatedResult r = replicate(inst, s, cfg);
+  ASSERT_EQ(r.computer_sojourn.size(), 2u);
+  if (!obs::kEnabled) {
+    EXPECT_EQ(r.computer_sojourn[0].count(), 0u);  // no-op twin
+    return;
+  }
+  for (std::size_t i = 0; i < 2; ++i) {
+    std::uint64_t total = 0;
+    double min_seen = 0.0;
+    for (const SimRunResult& run : r.runs) {
+      total += run.computer_sojourn[i].count();
+      const double m = run.computer_sojourn[i].min();
+      if (min_seen == 0.0 || (m > 0.0 && m < min_seen)) min_seen = m;
+    }
+    EXPECT_EQ(r.computer_sojourn[i].count(), total) << "computer " << i;
+    EXPECT_EQ(r.computer_sojourn[i].min(), min_seen) << "computer " << i;
+    EXPECT_GT(total, 0u);
+  }
+}
+
+TEST(Replication, MetricsShardsMergeIdenticallyAcrossThreadCounts) {
+  // Each replication publishes into a private shard; the shards merge in
+  // replication order after the join, so the reduced registry must not
+  // depend on the thread count.
+  const core::Instance inst = instance();
+  const core::StrategyProfile s = core::StrategyProfile::proportional(inst);
+  ReplicationConfig seq = quick_config(4);
+  seq.base.horizon = 300.0;
+  seq.threads = 1;
+  obs::Registry serial_reg;
+  seq.metrics = &serial_reg;
+  const ReplicatedResult a = replicate(inst, s, seq);
+  ReplicationConfig par = seq;
+  par.threads = 4;
+  obs::Registry pooled_reg;
+  par.metrics = &pooled_reg;
+  const ReplicatedResult b = replicate(inst, s, par);
+  if (!obs::kEnabled) {
+    EXPECT_EQ(serial_reg.size(), 0u);  // no-op twin swallows everything
+    EXPECT_EQ(pooled_reg.size(), 0u);
+    return;
+  }
+  EXPECT_EQ(a.total_jobs, b.total_jobs);
+  const auto sa = serial_reg.snapshot();
+  const auto sb = pooled_reg.snapshot();
+  ASSERT_GT(sa.size(), 0u) << "replications published des.* metrics";
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t k = 0; k < sa.size(); ++k) {
+    EXPECT_EQ(sa[k].name, sb[k].name);
+    EXPECT_EQ(sa[k].kind, sb[k].kind);
+    EXPECT_EQ(sa[k].count, sb[k].count) << sa[k].name;
+    EXPECT_EQ(sa[k].min_seconds, sb[k].min_seconds) << sa[k].name;
+    EXPECT_EQ(sa[k].max_seconds, sb[k].max_seconds) << sa[k].name;
+  }
+}
+
 TEST(Replication, RelativeHalfWidthIsSmall) {
   // The paper reports standard error below 5% at 95% confidence; our
   // replications at this horizon meet the same bar.

@@ -18,6 +18,7 @@
 
 #include <vector>
 
+#include "core/dynamics.hpp"
 #include "core/load_state.hpp"
 #include "core/types.hpp"
 #include "util/contracts.hpp"
@@ -106,6 +107,23 @@ TEST(ContractsDeathTest, UnstableInstanceAbortsOnRebuild) {
   EXPECT_DEATH(LoadState(inst, s), "NASHLB_INVARIANT.*unstable loads");
 }
 
+TEST(ContractsDeathTest, ThreadsWithSequentialOrderAborts) {
+  // Parallel rounds are a Jacobi-only option: a sequential order run on
+  // a pool would silently compute a different dynamics. The contract
+  // must reject the combination for both sequential orders, whether the
+  // thread count is explicit or auto-resolved.
+  const Instance inst = stable_instance();
+  nashlb::core::DynamicsOptions opts;
+  opts.order = nashlb::core::UpdateOrder::RoundRobin;
+  opts.threads = 2;
+  EXPECT_DEATH((void)nashlb::core::best_reply_dynamics(inst, opts),
+               "NASHLB_EXPECT.*sequential update");
+  opts.order = nashlb::core::UpdateOrder::RandomOrder;
+  opts.threads = 8;
+  EXPECT_DEATH((void)nashlb::core::best_reply_dynamics(inst, opts),
+               "NASHLB_EXPECT.*sequential update");
+}
+
 TEST(ContractsDeathTest, StaleLoadStateAborts) {
   const Instance inst = stable_instance();
   StrategyProfile s = StrategyProfile::proportional(inst);
@@ -131,6 +149,22 @@ TEST(Contracts, SeededViolationsAreFreeWhenDisabled) {
   state.assert_consistent(s);  // no abort: no-op when disabled
   EXPECT_GT(state.max_drift(s), 1e-3)
       << "the seeded mutation really did leave the state stale";
+}
+
+TEST(Contracts, ThreadsWithSequentialOrderFallsBackToSerialWhenDisabled) {
+  // With contracts compiled out the misconfiguration must not crash or
+  // change results: the dynamics ignores the pool for sequential orders
+  // and runs the exact serial path.
+  const Instance inst = stable_instance();
+  nashlb::core::DynamicsOptions serial;
+  serial.order = nashlb::core::UpdateOrder::RoundRobin;
+  serial.tolerance = 1e-10;
+  nashlb::core::DynamicsOptions pooled = serial;
+  pooled.threads = 4;
+  const auto a = nashlb::core::best_reply_dynamics(inst, serial);
+  const auto b = nashlb::core::best_reply_dynamics(inst, pooled);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.profile.max_difference(b.profile), 0.0);
 }
 
 #endif  // NASHLB_CHECK_ENABLED

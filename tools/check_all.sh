@@ -11,8 +11,10 @@
 #   6. check_tidy      clang-tidy over that tree    (SKIP if absent)
 #   7. contract build  -DNASHLB_CHECK=ON + full ctest (build-check/)
 #   8. check_sanitize  ASan+UBSan with contracts on   (build-asan/)
+#   9. check_tsan      ThreadSanitizer over the parallel layer
+#                      (build-tsan/)     (SKIP if TSan unsupported)
 #
-# Tool-gated steps (3, 4, 6) are skipped, not failed, on machines
+# Tool-gated steps (3, 4, 6, 9) are skipped, not failed, on machines
 # without the tools or baselines — same convention as their ctest
 # registrations.
 #
@@ -74,6 +76,9 @@ cmake --build "$root/build-check" -j "$jobs"
 step "check_sanitize (ASan+UBSan, contracts on)"
 "$root/tools/check_sanitize.sh" "$root"
 
+step "check_tsan (ThreadSanitizer, parallel layer)"
+run_skippable check_tsan "$root/tools/check_tsan.sh" "$root"
+
 printf '\ncheck_all: OK'
-[ -z "$skipped" ] || printf ' (skipped:%s — LLVM tools not on PATH)' "$skipped"
+[ -z "$skipped" ] || printf ' (skipped:%s — tool or baseline unavailable)' "$skipped"
 printf '\n'

@@ -10,16 +10,21 @@ a fresh run regressed past the tolerance:
   * timing fields (`*_seconds`) may grow by at most `--tolerance`
     (relative; default 0.5 — benchmarks on shared CI boxes are noisy,
     the gate catches structural regressions, not jitter);
-  * `speedup` may shrink by at most the same factor;
-  * structural fields (m, n, iterations, converged, equilibrium_check)
-    must match exactly — a changed iteration count means the algorithm
-    changed, which a perf PR must not do silently;
+  * `speedup` may shrink by at most the same factor; on threads-keyed
+    rows (BENCH_parallel.json) the tolerance is symmetric — a parallel
+    speedup that *grows* past tolerance is as suspicious as one that
+    shrinks, since it usually means the serial reference degraded or
+    the host changed out from under the baseline;
+  * structural fields (kind, m, n, threads, iterations, converged,
+    equilibrium_check) must match exactly — a changed iteration count
+    means the algorithm changed, which a perf PR must not do silently;
   * quality floats (max_profile_diff, best_reply_gap) may not grow by
     more than 10x past an absolute floor of 1e-9 — they are certificate
     values near zero, so relative comparison alone is meaningless.
 
-Rows are matched by their (m, n) key; added or removed rows fail (the
-sweep grid is part of the baseline's contract).
+Rows are matched by their (m, n, threads) key (threads absent on
+single-threaded benches like BENCH_scale.json); added or removed rows
+fail (the sweep grid is part of the baseline's contract).
 
 Every invocation first runs a built-in selftest: it injects a synthetic
 regression into an in-memory copy of the baseline and asserts the
@@ -50,15 +55,25 @@ TIMING_SUFFIX = "_seconds"
 QUALITY_FIELDS = ("max_profile_diff", "best_reply_gap")
 QUALITY_GROWTH = 10.0
 QUALITY_FLOOR = 1e-9
-EXACT_FIELDS = ("m", "n", "iterations", "converged", "equilibrium_check")
+EXACT_FIELDS = ("kind", "m", "n", "threads", "iterations", "converged",
+                "equilibrium_check")
 
 
 def row_key(row):
-    return (row.get("m"), row.get("n"))
+    return (row.get("m"), row.get("n"), row.get("threads"))
+
+
+def key_str(key):
+    m, n, threads = key
+    s = "m=%s n=%s" % (m, n)
+    if threads is not None:
+        s += " threads=%s" % threads
+    return s
 
 
 def compare_rows(key, base, fresh, tolerance, errors):
-    prefix = "row m=%s n=%s" % key
+    prefix = "row " + key_str(key)
+    symmetric_speedup = base.get("threads") is not None
     for field in EXACT_FIELDS:
         if base.get(field) != fresh.get(field):
             errors.append("%s: %s changed %r -> %r (structural field must "
@@ -82,6 +97,12 @@ def compare_rows(key, base, fresh, tolerance, errors):
                     "%.0f%%)" % (prefix, bval, fval,
                                  100.0 * (1.0 - fval / bval),
                                  100.0 * tolerance))
+            elif symmetric_speedup and fval > bval * (1.0 + tolerance):
+                errors.append(
+                    "%s: speedup grew %.6g -> %.6g (+%.0f%%, tolerance is "
+                    "symmetric on threads-keyed rows: rebaseline if the "
+                    "host changed)" % (prefix, bval, fval,
+                                       100.0 * (fval / bval - 1.0)))
         elif field in QUALITY_FIELDS:
             if fval > max(bval * QUALITY_GROWTH, QUALITY_FLOOR):
                 errors.append(
@@ -94,12 +115,19 @@ def compare(baseline, fresh, tolerance):
     errors = []
     base_rows = {row_key(r): r for r in baseline.get("rows", [])}
     fresh_rows = {row_key(r): r for r in fresh.get("rows", [])}
-    for key in sorted(k for k in base_rows if k not in fresh_rows):
-        errors.append("row m=%s n=%s disappeared from the fresh run" % key)
-    for key in sorted(k for k in fresh_rows if k not in base_rows):
-        errors.append("row m=%s n=%s is new (regenerate the committed "
-                      "baseline to extend the grid)" % key)
-    for key in sorted(k for k in base_rows if k in fresh_rows):
+    def sort_key(k):
+        return tuple((v is None, v) for v in k)
+
+    for key in sorted((k for k in base_rows if k not in fresh_rows),
+                      key=sort_key):
+        errors.append("row %s disappeared from the fresh run"
+                      % key_str(key))
+    for key in sorted((k for k in fresh_rows if k not in base_rows),
+                      key=sort_key):
+        errors.append("row %s is new (regenerate the committed "
+                      "baseline to extend the grid)" % key_str(key))
+    for key in sorted((k for k in base_rows if k in fresh_rows),
+                      key=sort_key):
         compare_rows(key, base_rows[key], fresh_rows[key], tolerance, errors)
     return errors
 
@@ -122,6 +150,29 @@ def selftest(baseline, tolerance):
         return "selftest: no timing field found to perturb"
     if not compare(baseline, hurt, tolerance):
         return "selftest: injected timing regression was not flagged"
+    threads_rows = [r for r in rows if r.get("threads") is not None]
+    if threads_rows:
+        # Threads-keyed grids: the speedup tolerance is symmetric, so an
+        # inflated speedup must be flagged too ...
+        grown = copy.deepcopy(baseline)
+        for r in grown["rows"]:
+            if r.get("threads") is not None and "speedup" in r:
+                r["speedup"] = float(r["speedup"]) * (
+                    1.0 + 2.0 * (tolerance + 1.0))
+                break
+        if not compare(baseline, grown, tolerance):
+            return ("selftest: inflated speedup on a threads-keyed row "
+                    "was not flagged")
+        # ... and a degraded determinism cross-check must be flagged.
+        if any("max_profile_diff" in r for r in threads_rows):
+            worse = copy.deepcopy(baseline)
+            for r in worse["rows"]:
+                if r.get("threads") is not None and "max_profile_diff" in r:
+                    r["max_profile_diff"] = 1e-3
+                    break
+            if not compare(baseline, worse, tolerance):
+                return ("selftest: degraded max_profile_diff on a "
+                        "threads-keyed row was not flagged")
     return None
 
 

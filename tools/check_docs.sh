@@ -42,7 +42,7 @@ done
 
 # The observability doc must describe every exported instrument family;
 # new sections guard against the doc silently lagging the obs layer.
-for section in "## Histograms" "## Span tracing"; do
+for section in "## Histograms" "## Span tracing" "## Sharded registries"; do
     if [ -f "$root/docs/OBSERVABILITY.md" ] && \
        ! grep -q "^$section" "$root/docs/OBSERVABILITY.md"; then
         fail "docs/OBSERVABILITY.md is missing its \"$section\" section"

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo-specific lint rules the generic tools can't see.
 
-Registered as the `lint_nashlb` ctest. Three rules, each encoding a
+Registered as the `lint_nashlb` ctest. Five rules, each encoding a
 convention this repository's performance or observability story depends
 on (see docs/STATIC_ANALYSIS.md):
 
@@ -38,8 +38,21 @@ on (see docs/STATIC_ANALYSIS.md):
       recomputes bucket edges by hand silently drifts the first time
       the grid changes.
 
+  raw-concurrency
+      No raw `std::thread`/`std::jthread`/`std::async` or
+      `#pragma omp` anywhere in src/ outside src/util/parallel.{hpp,cpp}
+      — all concurrency goes through util::ThreadPool. The pool is what
+      makes parallel results bitwise thread-count-independent (static
+      chunk assignment, ordered reductions, one RNG stream per work
+      item); a stray std::thread bypasses every one of those guarantees
+      and TSan can't tell you determinism broke.
+
 Suppression: append `// nashlb-lint: allow(<rule>)` (with a reason) on
 the offending line or the line above it.
+
+Every invocation first runs a built-in selftest: each rule is exercised
+against synthetic snippets that must (and must not) trigger it — a lint
+that silently stopped matching is worse than no lint.
 
 Usage: tools/lint_nashlb.py [repo-root]   Exit: 0 clean, 1 findings.
 """
@@ -325,7 +338,70 @@ def check_histogram_bounds(root, relpath, text, lines):
                "instead of recomputing the grid" % m.group(0))
 
 
+RAW_CONCURRENCY_RE = re.compile(
+    r"\bstd::(?:jthread|thread|async)\b|#\s*pragma\s+omp\b")
+PARALLEL_FILES = (
+    os.path.join("src", "util", "parallel.hpp"),
+    os.path.join("src", "util", "parallel.cpp"),
+)
+
+
+def check_raw_concurrency(root, relpath, lines):
+    if relpath in PARALLEL_FILES:
+        return  # the pool's own implementation
+    code = [strip_comments_and_strings(l) for l in lines]
+    for idx, line in enumerate(code):
+        m = RAW_CONCURRENCY_RE.search(line)
+        if not m:
+            continue
+        if suppressed(lines, idx, "raw-concurrency"):
+            continue
+        report(relpath, idx + 1, "raw-concurrency",
+               "%s outside src/util/parallel.*: route concurrency through "
+               "util::ThreadPool so results stay deterministic across "
+               "thread counts" % m.group(0))
+
+
+def selftest():
+    """Each rule must flag its synthetic violation and pass its
+    counter-example. Returns an error string, or None when healthy."""
+    cases = [
+        # (rule regex hit expected?, line)
+        (True, "  std::thread worker([] {});"),
+        (True, "  auto f = std::async(std::launch::async, fn);"),
+        (True, "  std::jthread t;"),
+        (True, "#pragma omp parallel for"),
+        (True, "# pragma omp critical"),
+        (False, "  std::this_thread::sleep_for(1ms);"),
+        (False, "  // std::thread only named in a comment"),
+        (False, '  log("std::thread inside a string literal");'),
+        (False, "  pool.parallel_for(0, m, 1, fn);"),
+    ]
+    for expect, line in cases:
+        hit = RAW_CONCURRENCY_RE.search(
+            strip_comments_and_strings(line)) is not None
+        if hit != expect:
+            return ("raw-concurrency selftest: %r should %shave matched"
+                    % (line, "" if expect else "not "))
+    suppressed_line = ["  std::thread t;  // nashlb-lint: allow(raw-concurrency)"]
+    if not suppressed(suppressed_line, 0, "raw-concurrency"):
+        return "raw-concurrency selftest: suppression comment not honored"
+    if not ALLOC_RE.search("  auto r = best_reply(inst, s, j);"):
+        return "alloc-in-hot-path selftest: best_reply() call not matched"
+    if ALLOC_RE.search("  best_reply_into(inst, s, state, j, ws);"):
+        return "alloc-in-hot-path selftest: _into variant wrongly matched"
+    if count_cells("{a, {b, c}, d}") != 3:
+        return "trace-arity selftest: nested cell count wrong"
+    if not HISTOGRAM_CONST_RE.search("int k = kBucketsPerOctave;"):
+        return "histogram-bounds selftest: layout constant not matched"
+    return None
+
+
 def main():
+    failed = selftest()
+    if failed:
+        print("lint_nashlb: FAIL: selftest: " + failed, file=sys.stderr)
+        return 1
     root = sys.argv[1] if len(sys.argv) > 1 else os.path.dirname(
         os.path.dirname(os.path.abspath(__file__)))
     src_files = []
@@ -341,13 +417,14 @@ def main():
         check_alloc_in_hot_path(root, relpath, lines)
         check_trace_arity(root, relpath, text, lines)
         check_histogram_bounds(root, relpath, text, lines)
+        check_raw_concurrency(root, relpath, lines)
     check_bench_registered(root)
 
     if errors:
         for e in errors:
             print("lint_nashlb: FAIL: " + e, file=sys.stderr)
         return 1
-    print("lint_nashlb: OK (%d src files, 4 rules)" % len(src_files))
+    print("lint_nashlb: OK (%d src files, 5 rules)" % len(src_files))
     return 0
 
 
