@@ -16,15 +16,23 @@
 //     sizes where the old path is not prohibitively slow — the old path
 //     too, verifying both converge to the same equilibrium within 1e-10.
 //
+// A user-class aggregation axis (docs/SCALING.md) extends the sweep to
+// m = 10^6: the dynamics runs over weighted classes (round cost
+// O(classes·n), independent of m), each row records the a-posteriori
+// eps-Nash certificate of the expanded profile, and a singleton-partition
+// run is checked bitwise against the per-user solver.
+//
 // Outputs: bench_results/scale.csv (one row per size), an informational
 // pooled-Jacobi threads sweep in bench_results/scale_threads.csv (the
-// gated threads grid lives in bench_parallel / BENCH_parallel.json), and
-// a machine-readable BENCH_scale.json with the headline speedup at
+// gated threads grid lives in bench_parallel / BENCH_parallel.json),
+// bench_results/scale_classes.csv (the class axis), and a
+// machine-readable BENCH_scale.json with the headline speedup at
 // m=512, n=64 — the perf trajectory future PRs measure against (see
 // docs/PERFORMANCE.md).
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -34,6 +42,8 @@
 #include "core/dynamics.hpp"
 #include "core/equilibrium.hpp"
 #include "core/load_state.hpp"
+#include "core/user_classes.hpp"
+#include "stats/rng.hpp"
 #include "util/table.hpp"
 #include "workload/configs.hpp"
 
@@ -208,7 +218,122 @@ SizeResult run_size(std::size_t m, std::size_t n) {
   return r;
 }
 
+// --- user-class aggregation axis (docs/SCALING.md) ----------------------
+//
+// The per-user sweep tops out at m = 4096 because a round is O(m·n); the
+// class dynamics makes a round O(classes · n), so this axis pushes m to
+// 10^6. Two populations per size:
+//   * classes_exact      — the Table-1 mix cycled (10 distinct phi
+//                          values), grouped by UserClassPartition::exact;
+//   * classes_quantized  — log-uniform heterogeneous demands spanning a
+//                          factor of 100, bucketed at eps_phi = 1e-3
+//                          (capped at 512 classes), with the a-posteriori
+//                          eps-Nash certificate evaluated on the result.
+constexpr double kEpsPhi = 1e-3;
+constexpr std::size_t kMaxClasses = 512;
+
+struct ClassResult {
+  std::string kind;  // "classes_exact" | "classes_quantized"
+  std::size_t m = 0;
+  std::size_t n = 0;
+  std::size_t classes = 0;
+  double build_seconds = 0.0;       // partition construction
+  double solve_seconds = 0.0;       // class dynamics to tolerance
+  double per_round_seconds = 0.0;   // solve_seconds / iterations
+  std::size_t iterations = 0;
+  bool converged = false;
+  double eps_nash_measured = 0.0;   // certificate: realized relative gain
+  double eps_nash_bound = 0.0;      // certificate: analytic bound
+  double max_rel_deviation = 0.0;   // realized bucketing width
+};
+
+/// Log-uniform heterogeneous demand mix spanning `spread`x between the
+/// lightest and heaviest user (deterministic: fixed Xoshiro256 seed).
+core::Instance heterogeneous_instance(std::size_t m, std::size_t n,
+                                      double spread = 100.0) {
+  static const double kClassRates[4] = {10.0, 20.0, 50.0, 100.0};
+  std::vector<double> rates(n);
+  for (std::size_t i = 0; i < n; ++i) rates[i] = kClassRates[i % 4];
+  stats::Xoshiro256 rng(0x5ca1ab1eULL + m);
+  std::vector<double> q(m);
+  double total = 0.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    q[j] = std::exp(rng.next_double() * std::log(spread));
+    total += q[j];
+  }
+  for (double& v : q) v /= total;
+  return workload::make_instance(std::move(rates), std::move(q),
+                                 kUtilization);
+}
+
+ClassResult run_class_size(const core::Instance& inst, std::size_t m,
+                           std::size_t n, bool quantized) {
+  ClassResult r;
+  r.kind = quantized ? "classes_quantized" : "classes_exact";
+  r.m = m;
+  r.n = n;
+
+  const double tb0 = now_seconds();
+  const core::UserClassPartition part =
+      quantized ? core::UserClassPartition::quantized(inst, kEpsPhi,
+                                                      kMaxClasses)
+                : core::UserClassPartition::exact(inst);
+  r.build_seconds = now_seconds() - tb0;
+  r.classes = part.num_classes();
+  r.max_rel_deviation = part.max_rel_deviation();
+
+  core::DynamicsOptions opts;
+  opts.init = core::Initialization::Proportional;
+  opts.tolerance = tolerance_for(m);
+  opts.max_iterations = 5000;
+  opts.classes = &part;
+  std::optional<core::DynamicsResult> res;
+  for (int rep = 0; rep < kTimingRepeats; ++rep) {
+    const double t0 = now_seconds();
+    res = core::best_reply_dynamics(inst, opts);
+    const double dt = now_seconds() - t0;
+    if (rep == 0 || dt < r.solve_seconds) r.solve_seconds = dt;
+  }
+  r.iterations = res->iterations;
+  r.converged = res->converged;
+  r.per_round_seconds =
+      r.solve_seconds / static_cast<double>(std::max<std::size_t>(
+                            res->iterations, 1));
+
+  const core::EpsNashCertificate cert =
+      core::certify_eps_nash(inst, part, res->profile);
+  r.eps_nash_measured = cert.eps_nash;
+  r.eps_nash_bound = cert.analytic_bound;
+  return r;
+}
+
+/// The singleton partition must reproduce the per-user solver bitwise —
+/// the structural pin that the class code path *is* the per-user path
+/// when every class has one member.
+bool check_singleton_bitwise(std::size_t m, std::size_t n) {
+  const core::Instance inst = scaled_instance(m, n);
+  core::DynamicsOptions opts;
+  opts.init = core::Initialization::Proportional;
+  opts.tolerance = tolerance_for(m);
+  opts.max_iterations = 5000;
+  const core::DynamicsResult per_user = core::best_reply_dynamics(inst, opts);
+  const core::UserClassPartition part =
+      core::UserClassPartition::singletons(inst);
+  opts.classes = &part;
+  const core::DynamicsResult via_classes =
+      core::best_reply_dynamics(inst, opts);
+  const double diff = per_user.profile.max_difference(via_classes.profile);
+  if (diff != 0.0 || per_user.iterations != via_classes.iterations) {
+    std::printf("FAIL: singleton class dynamics differs from per-user "
+                "solver at m=%zu n=%zu (|Δs| = %.3e, iters %zu vs %zu)\n",
+                m, n, diff, per_user.iterations, via_classes.iterations);
+    return false;
+  }
+  return true;
+}
+
 void write_json(const std::vector<SizeResult>& rows,
+                const std::vector<ClassResult>& class_rows,
                 const SizeResult* headline) {
   std::FILE* f = std::fopen("BENCH_scale.json", "w");
   if (!f) {
@@ -237,7 +362,19 @@ void write_json(const std::vector<SizeResult>& rows,
         r.m, r.n, r.old_round_seconds, r.incr_round_seconds, r.speedup,
         r.iterations, r.converged ? "true" : "false",
         r.equilibrium_check.c_str(), r.max_profile_diff, r.best_reply_gap,
-        i + 1 < rows.size() ? "," : "");
+        i + 1 < rows.size() || !class_rows.empty() ? "," : "");
+  }
+  for (std::size_t i = 0; i < class_rows.size(); ++i) {
+    const ClassResult& r = class_rows[i];
+    std::fprintf(
+        f,
+        "    {\"kind\": \"%s\", \"m\": %zu, \"n\": %zu, \"classes\": %zu, "
+        "\"per_round_seconds\": %.6e, \"iterations\": %zu, "
+        "\"converged\": %s, \"eps_nash_measured\": %.3e, "
+        "\"eps_nash_bound\": %.3e}%s\n",
+        r.kind.c_str(), r.m, r.n, r.classes, r.per_round_seconds,
+        r.iterations, r.converged ? "true" : "false", r.eps_nash_measured,
+        r.eps_nash_bound, i + 1 < class_rows.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
   if (headline) {
@@ -369,9 +506,76 @@ int main() {
   }
   std::printf("%s\n", table.str().c_str());
 
-  write_json(rows, headline);
+  // --- user-class aggregation axis (docs/SCALING.md) --------------------
+  const std::vector<std::pair<std::size_t, std::size_t>> class_sweep = {
+      {4096, 64}, {65536, 64}, {1048576, 64}};
+  util::Table ctable({"kind", "m", "n", "classes", "round (s)", "iters",
+                      "eps measured", "eps bound"});
+  auto ccsv = bench::csv(
+      "scale_classes",
+      {"kind", "m", "n", "classes", "build_seconds", "solve_seconds",
+       "per_round_seconds", "iterations", "converged", "eps_nash_measured",
+       "eps_nash_bound", "max_rel_deviation"});
+  std::vector<ClassResult> class_rows;
+  for (const auto& [m, n] : class_sweep) {
+    for (const bool quantized : {false, true}) {
+      const core::Instance inst =
+          quantized ? heterogeneous_instance(m, n) : scaled_instance(m, n);
+      class_rows.push_back(run_class_size(inst, m, n, quantized));
+      const ClassResult& r = class_rows.back();
+      ctable.add_row({r.kind, std::to_string(r.m), std::to_string(r.n),
+                      std::to_string(r.classes),
+                      bench::num(r.per_round_seconds),
+                      std::to_string(r.iterations),
+                      bench::num(r.eps_nash_measured),
+                      bench::num(r.eps_nash_bound)});
+      if (ccsv) {
+        ccsv->add_row({r.kind, std::to_string(r.m), std::to_string(r.n),
+                       std::to_string(r.classes), bench::num(r.build_seconds),
+                       bench::num(r.solve_seconds),
+                       bench::num(r.per_round_seconds),
+                       std::to_string(r.iterations), r.converged ? "1" : "0",
+                       bench::num(r.eps_nash_measured),
+                       bench::num(r.eps_nash_bound),
+                       bench::num(r.max_rel_deviation)});
+      }
+    }
+  }
+  std::printf("user-class aggregation (eps_phi = %g, <= %zu classes):\n%s\n",
+              kEpsPhi, kMaxClasses, ctable.str().c_str());
+
+  write_json(rows, class_rows, headline);
 
   bool ok = run_threads_sweep();
+  ok = check_singleton_bitwise(512, 64) && ok;
+
+  // Class-axis gates: every row must converge with a certified eps-Nash
+  // bound <= 1e-3, and a class round at m = 10^6 must stay within 2x of
+  // the per-user round at m = 4096 — the whole point of the aggregation.
+  const SizeResult* per_user_4096 = nullptr;
+  for (const SizeResult& r : rows) {
+    if (r.m == 4096 && r.n == 64) per_user_4096 = &r;
+  }
+  for (const ClassResult& r : class_rows) {
+    if (!r.converged) {
+      std::printf("FAIL: class dynamics did not converge (%s m=%zu)\n",
+                  r.kind.c_str(), r.m);
+      ok = false;
+    }
+    if (!(r.eps_nash_bound <= 1e-3)) {
+      std::printf("FAIL: eps_nash_bound %.3e > 1e-3 (%s m=%zu)\n",
+                  r.eps_nash_bound, r.kind.c_str(), r.m);
+      ok = false;
+    }
+    if (r.m == 1048576 && per_user_4096 &&
+        !(r.per_round_seconds <= 2.0 * per_user_4096->incr_round_seconds)) {
+      std::printf("FAIL: class round at m=10^6 (%.3e s, %s) exceeds 2x the "
+                  "per-user round at m=4096 (%.3e s)\n",
+                  r.per_round_seconds, r.kind.c_str(),
+                  per_user_4096->incr_round_seconds);
+      ok = false;
+    }
+  }
   if (headline) {
     std::printf("headline (m=512, n=64): %.1fx per-round speedup, "
                 "paths agree to %.2e\n",
@@ -395,7 +599,8 @@ int main() {
     }
   }
   std::printf("%s; wrote bench_results/scale.csv, "
-              "bench_results/scale_threads.csv and BENCH_scale.json\n",
+              "bench_results/scale_threads.csv, "
+              "bench_results/scale_classes.csv and BENCH_scale.json\n",
               ok ? "all checks passed" : "CHECKS FAILED");
   return ok ? 0 : 1;
 }

@@ -80,10 +80,21 @@ std::span<const double> best_reply_into(const Instance& inst,
   if (user >= inst.num_users()) {
     throw std::out_of_range("best_reply: user out of range");
   }
+  return best_reply_into(inst, s, state, user, inst.phi[user], ws);
+}
+
+std::span<const double> best_reply_into(const Instance& inst,
+                                        const StrategyProfile& s,
+                                        const LoadState& state,
+                                        std::size_t user, double demand,
+                                        BestReplyWorkspace& ws) {
+  if (user >= inst.num_users()) {
+    throw std::out_of_range("best_reply: user out of range");
+  }
   ws.resize(inst.num_computers());
-  state.available_rates(s, user, ws.avail);
+  state.available_rates(s, user, demand, ws.avail);
   check_available(ws.avail);
-  optimal_fractions_into(ws.avail, inst.phi[user], ws.reply, ws.waterfill);
+  optimal_fractions_into(ws.avail, demand, ws.reply, ws.waterfill);
   return {ws.reply.data(), ws.reply.size()};
 }
 

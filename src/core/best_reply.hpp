@@ -70,6 +70,17 @@ std::span<const double> best_reply_into(const Instance& inst,
                                         std::size_t user,
                                         BestReplyWorkspace& ws);
 
+/// As above with an explicit reply demand: the available rates back out
+/// `demand` of the user's own flow and the waterfill allocates `demand`.
+/// The plain overload forwards here with demand = phi_j (bitwise
+/// identical). The class dynamics (core/user_classes) passes the class's
+/// *representative* demand while `state` aggregates full class weights.
+std::span<const double> best_reply_into(const Instance& inst,
+                                        const StrategyProfile& s,
+                                        const LoadState& state,
+                                        std::size_t user, double demand,
+                                        BestReplyWorkspace& ws);
+
 /// The improvement available to `user` by unilaterally deviating to its
 /// best reply: D_j(current) - D_j(best reply), always >= 0 up to rounding.
 /// Zero (within tolerance) for every user simultaneously characterizes a

@@ -11,6 +11,7 @@
 #include "core/cost.hpp"
 #include "core/equilibrium.hpp"
 #include "core/load_state.hpp"
+#include "core/user_classes.hpp"
 #include "stats/rng.hpp"
 #include "util/contracts.hpp"
 #include "util/parallel.hpp"
@@ -70,19 +71,34 @@ bool certificates_due(const DynamicsOptions& options, std::size_t round) {
 }
 
 /// True if every computer still has spare capacity for `user` to target.
+/// `demand` is the mover's full contribution to the loads — the user's
+/// phi_j, or the class weight W_k in class mode (the symmetric class
+/// reply needs every rate free of the whole class to be positive).
 bool replies_computable(const LoadState& state, const StrategyProfile& s,
-                        std::size_t user, std::span<double> scratch) {
-  state.available_rates(s, user, scratch);
+                        std::size_t user, double demand,
+                        std::span<double> scratch) {
+  state.available_rates(s, user, demand, scratch);
   for (double a : scratch) {
     if (!(a > 0.0)) return false;
   }
   return true;
 }
 
+/// The dynamics loop, shared by the per-user and class-aggregated modes.
+/// In class mode (`classes` non-null) `inst` is the partition's
+/// aggregated instance — phi carries the class weights W_k, so the
+/// LoadState accumulates correct expanded loads — each move commits the
+/// symmetric within-class reply (class_reply_into; singleton classes
+/// reduce to the representative-demand waterfill bitwise), and the norm
+/// weights each class delta by its member count. Per-user mode passes
+/// classes = nullptr; its demand span is inst.phi and its norm weights
+/// are 1, which keeps the arithmetic bitwise identical to the
+/// pre-aggregation code path (and to a singleton-class run).
 DynamicsResult run(const Instance& inst, StrategyProfile profile,
                    std::vector<double> last_times,
                    const DynamicsOptions& options,
-                   const RoundObserver& observer) {
+                   const RoundObserver& observer,
+                   const UserClassPartition* classes) {
   // Stability (assumption A2): best replies only exist while the total
   // demand leaves spare capacity. inst.validate() enforces this with an
   // exception at the API boundary; the contract re-states it here where
@@ -91,6 +107,15 @@ DynamicsResult run(const Instance& inst, StrategyProfile profile,
                 "Phi=%.17g >= sum mu=%.17g: no feasible profile exists",
                 inst.total_arrival_rate(), inst.total_capacity());
   const std::size_t m = inst.num_users();
+  const bool class_mode = classes != nullptr;
+  // Reply demand per mover: the representative demand in class mode, the
+  // user's own phi otherwise. Norm weights (member counts) only exist in
+  // class mode; the per-user path multiplies by the exact 1.0, which is
+  // a bitwise no-op.
+  const std::span<const double> reply_phi =
+      class_mode ? classes->rep_phi() : std::span<const double>(inst.phi);
+  const std::span<const double> norm_weight =
+      class_mode ? classes->member_counts() : std::span<const double>();
   DynamicsResult result{std::move(profile), false, false, 0, {}, {}};
   const auto wall_start = std::chrono::steady_clock::now();
   const auto wall_seconds = [&wall_start] {
@@ -161,10 +186,15 @@ DynamicsResult run(const Instance& inst, StrategyProfile profile,
                                             static_cast<std::int64_t>(j));
         }
         const std::span<const double> reply =
-            best_reply_into(inst, result.profile, state, j, ws);
+            class_mode
+                ? class_reply_into(inst, result.profile, state, j, *classes,
+                                   ws)
+                : best_reply_into(inst, result.profile, state, j, reply_phi[j],
+                                  ws);
         state.commit_row(result.profile, j, reply);
         const double d = state.user_response_time(result.profile, j);
-        norm += std::fabs(d - last_times[j]);
+        norm += (class_mode ? norm_weight[j] : 1.0) *
+                std::fabs(d - last_times[j]);
         last_times[j] = d;
         if (obs::kEnabled && options.spans) options.spans->end(reply_span);
       }
@@ -180,8 +210,11 @@ DynamicsResult run(const Instance& inst, StrategyProfile profile,
       if (pool) {
         pool->parallel_for(0, m, 1, [&](std::size_t j, std::size_t w) {
           result.profile.set_row(
-              j, best_reply_into(inst, result.profile, state, j,
-                                 worker_ws[w]));
+              j, class_mode
+                     ? class_reply_into(inst, result.profile, state, j,
+                                        *classes, worker_ws[w])
+                     : best_reply_into(inst, result.profile, state, j,
+                                       reply_phi[j], worker_ws[w]));
         });
       } else {
         for (std::size_t j = 0; j < m; ++j) {
@@ -191,7 +224,11 @@ DynamicsResult run(const Instance& inst, StrategyProfile profile,
                                               static_cast<std::int64_t>(j));
           }
           result.profile.set_row(
-              j, best_reply_into(inst, result.profile, state, j, ws));
+              j, class_mode
+                     ? class_reply_into(inst, result.profile, state, j,
+                                        *classes, ws)
+                     : best_reply_into(inst, result.profile, state, j,
+                                       reply_phi[j], ws));
           if (obs::kEnabled && options.spans) options.spans->end(reply_span);
         }
       }
@@ -205,6 +242,7 @@ DynamicsResult run(const Instance& inst, StrategyProfile profile,
         // resulting bits — match the serial path exactly.
         pool->parallel_for(0, m, 1, [&](std::size_t j, std::size_t w) {
           round_computable[j] = replies_computable(state, result.profile, j,
+                                                   inst.phi[j],
                                                    worker_ws[w].avail)
                                     ? 1
                                     : 0;
@@ -214,17 +252,20 @@ DynamicsResult run(const Instance& inst, StrategyProfile profile,
           if (round_computable[j] == 0) ok = false;
           const double d = round_times[j];
           if (!std::isfinite(d)) ok = false;
-          norm += std::fabs(d - last_times[j]);
+          norm += (class_mode ? norm_weight[j] : 1.0) *
+                  std::fabs(d - last_times[j]);
           last_times[j] = d;
         }
       } else {
         for (std::size_t j = 0; j < m && ok; ++j) {
-          ok = replies_computable(state, result.profile, j, ws.avail);
+          ok = replies_computable(state, result.profile, j, inst.phi[j],
+                                  ws.avail);
         }
         for (std::size_t j = 0; j < m; ++j) {
           const double d = state.user_response_time(result.profile, j);
           if (!std::isfinite(d)) ok = false;
-          norm += std::fabs(d - last_times[j]);
+          norm += (class_mode ? norm_weight[j] : 1.0) *
+                  std::fabs(d - last_times[j]);
           last_times[j] = d;
         }
       }
@@ -245,6 +286,22 @@ DynamicsResult run(const Instance& inst, StrategyProfile profile,
 
     result.iterations = round;
     result.norm_history.push_back(norm);
+#if NASHLB_CHECK_ENABLED
+    // Class-weight invariant (alongside LoadState's stride-64 audit):
+    // the aggregated instance's demands are the class weights, and their
+    // sum must stay the total demand Phi the partition was built from —
+    // a mismatch means the dynamics is balancing a different population
+    // than the one the eps-Nash certificate will be issued for.
+    if (class_mode) {
+      double weight_sum = 0.0;
+      for (double w : inst.phi) weight_sum += w;
+      NASHLB_INVARIANT(
+          std::fabs(weight_sum - classes->total_weight()) <=
+              1e-9 * std::max(1.0, classes->total_weight()),
+          "round %zu: class weights sum to %.17g, partition Phi=%.17g",
+          round, weight_sum, classes->total_weight());
+    }
+#endif
     if (obs::kEnabled && options.trace) {
       record_round(*options.trace, inst, result.profile, state.loads(),
                    certificates_due(options, round), round, norm,
@@ -273,10 +330,57 @@ DynamicsResult run(const Instance& inst, StrategyProfile profile,
 
 }  // namespace
 
+namespace {
+
+/// Class-mode front end: builds the aggregated instance and runs the
+/// shared loop over classes, starting from `start` when provided (it
+/// must be class-level) or from the configured initialization.
+DynamicsResult run_over_classes(const Instance& inst,
+                                const StrategyProfile* start,
+                                const DynamicsOptions& options,
+                                const RoundObserver& observer) {
+  const UserClassPartition& part = *options.classes;
+  if (part.num_users() != inst.num_users()) {
+    throw std::invalid_argument(
+        "best_reply_dynamics: class partition covers " +
+        std::to_string(part.num_users()) + " users, instance has " +
+        std::to_string(inst.num_users()));
+  }
+  part.expect_matches(inst);
+  const Instance agg = part.aggregate_instance(inst);
+  agg.validate();
+  if (start == nullptr && options.init == Initialization::Zero) {
+    StrategyProfile zero(agg.num_users(), agg.num_computers());
+    std::vector<double> last_times(agg.num_users(), 0.0);
+    return run(agg, std::move(zero), std::move(last_times), options, observer,
+               &part);
+  }
+  StrategyProfile from = start != nullptr
+                             ? *start
+                             : StrategyProfile::proportional(agg);
+  if (from.num_users() != agg.num_users() ||
+      from.num_computers() != agg.num_computers()) {
+    throw std::invalid_argument(
+        "best_reply_dynamics_from: class-mode start profile must be "
+        "class-level (num_classes x n)");
+  }
+  std::vector<double> last_times = user_response_times(agg, from);
+  for (double& d : last_times) {
+    if (!std::isfinite(d)) d = 0.0;  // e.g. an all-zero start row
+  }
+  return run(agg, std::move(from), std::move(last_times), options, observer,
+             &part);
+}
+
+}  // namespace
+
 DynamicsResult best_reply_dynamics(const Instance& inst,
                                    const DynamicsOptions& options,
                                    const RoundObserver& observer) {
   inst.validate();
+  if (options.classes != nullptr) {
+    return run_over_classes(inst, nullptr, options, observer);
+  }
   const std::size_t m = inst.num_users();
   const std::size_t n = inst.num_computers();
   if (options.init == Initialization::Proportional) {
@@ -287,7 +391,8 @@ DynamicsResult best_reply_dynamics(const Instance& inst,
   // round's norm is then simply sum_j D_j^(1).
   StrategyProfile zero(m, n);
   std::vector<double> last_times(m, 0.0);
-  return run(inst, std::move(zero), std::move(last_times), options, observer);
+  return run(inst, std::move(zero), std::move(last_times), options, observer,
+             nullptr);
 }
 
 DynamicsResult best_reply_dynamics_from(const Instance& inst,
@@ -295,6 +400,9 @@ DynamicsResult best_reply_dynamics_from(const Instance& inst,
                                         const DynamicsOptions& options,
                                         const RoundObserver& observer) {
   inst.validate();
+  if (options.classes != nullptr) {
+    return run_over_classes(inst, &start, options, observer);
+  }
   if (start.num_users() != inst.num_users() ||
       start.num_computers() != inst.num_computers()) {
     throw std::invalid_argument(
@@ -304,7 +412,7 @@ DynamicsResult best_reply_dynamics_from(const Instance& inst,
   for (double& d : last_times) {
     if (!std::isfinite(d)) d = 0.0;  // e.g. an all-zero start row
   }
-  return run(inst, start, std::move(last_times), options, observer);
+  return run(inst, start, std::move(last_times), options, observer, nullptr);
 }
 
 }  // namespace nashlb::core

@@ -31,6 +31,8 @@
 
 namespace nashlb::core {
 
+class UserClassPartition;  // core/user_classes.hpp
+
 /// Starting profile of the dynamics (§4.2.1).
 enum class Initialization {
   Zero,          ///< NASH_0: all fractions zero, D_j^(0) taken as 0
@@ -90,6 +92,24 @@ struct DynamicsOptions {
   /// contract violation (NASHLB_EXPECT aborts under -DNASHLB_CHECK=ON);
   /// unchecked builds fall back to the serial path.
   std::size_t threads = 1;
+  /// Optional user-class aggregation (not owned, may be null; must
+  /// outlive the call). When set, the dynamics runs over the partition's
+  /// weighted classes instead of individual users: the aggregate loads
+  /// carry the class weights W_k, each class's move commits the
+  /// *symmetric within-class reply* (the row that is the representative
+  /// member's best reply when its classmates play the same row — see
+  /// class_reply_into in core/user_classes.hpp), and the stopping norm
+  /// weights each class's response-time delta by its member count — so
+  /// one round is O(classes · n) regardless of the population size m,
+  /// and the tolerance keeps its per-user meaning. All three update orders and
+  /// `threads` compose as usual. The returned DynamicsResult is
+  /// class-level: `profile` has num_classes rows (expand to the full
+  /// per-user profile with UserClassPartition::expand; certify the
+  /// equilibrium error with certify_eps_nash) and `user_times` holds the
+  /// per-class representative response times. With the `singletons`
+  /// partition the run is bitwise identical to the per-user solver. See
+  /// docs/SCALING.md.
+  const UserClassPartition* classes = nullptr;
 };
 
 /// Outcome of a run of the dynamics.

@@ -57,12 +57,22 @@ void LoadState::available_rates(const StrategyProfile& s, std::size_t user,
   if (user >= s.num_users()) {
     throw std::out_of_range("LoadState::available_rates: user out of range");
   }
+  available_rates(s, user, inst_->phi[user], out);
+}
+
+void LoadState::available_rates(const StrategyProfile& s, std::size_t user,
+                                double self_demand,
+                                std::span<double> out) const {
+  check_dimensions(s);
+  if (user >= s.num_users()) {
+    throw std::out_of_range("LoadState::available_rates: user out of range");
+  }
   if (out.size() != lambda_.size()) {
     throw std::invalid_argument(
         "LoadState::available_rates: output size mismatch");
   }
   const std::span<const double> row = s.row(user);
-  const double rate = inst_->phi[user];
+  const double rate = self_demand;
   for (std::size_t i = 0; i < lambda_.size(); ++i) {
     out[i] = inst_->mu[i] - (lambda_[i] - row[i] * rate);
   }

@@ -56,6 +56,15 @@ class LoadState {
   void available_rates(const StrategyProfile& s, std::size_t user,
                        std::span<double> out) const;
 
+  /// As above with an explicit own-flow demand instead of the instance's
+  /// phi_j: out_i = mu_i - (lambda_i - s_ji · self_demand). The class
+  /// dynamics (core/user_classes) uses this with the *representative*
+  /// demand while the carried lambda aggregates full class weights; the
+  /// plain overload forwards here with self_demand = phi_j, so both are
+  /// bitwise identical when the demands agree.
+  void available_rates(const StrategyProfile& s, std::size_t user,
+                       double self_demand, std::span<double> out) const;
+
   /// Installs `new_row` as `user`'s strategy: updates lambda by the row
   /// delta and writes the row into the profile — O(n). `new_row` must not
   /// alias the profile's own storage.

@@ -1,0 +1,509 @@
+#include "core/user_classes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/best_reply.hpp"
+#include "util/contracts.hpp"
+
+namespace nashlb::core {
+
+namespace {
+
+/// Sorts user indices by (phi, index): equal demands become contiguous
+/// runs and members inside every run stay ascending.
+std::vector<std::size_t> by_demand(const Instance& inst) {
+  std::vector<std::size_t> order(inst.num_users());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&inst](std::size_t a, std::size_t b) {
+              if (inst.phi[a] != inst.phi[b]) {
+                return inst.phi[a] < inst.phi[b];
+              }
+              return a < b;
+            });
+  return order;
+}
+
+}  // namespace
+
+UserClassPartition UserClassPartition::build(
+    const Instance& inst, std::vector<std::vector<std::size_t>> groups) {
+  const std::size_t m = inst.num_users();
+  UserClassPartition part;
+  part.user_class_.assign(m, m);  // m = "unassigned" sentinel
+  part.classes_.reserve(groups.size());
+  part.rep_phi_.reserve(groups.size());
+  part.counts_.reserve(groups.size());
+  std::size_t assigned = 0;
+  for (std::vector<std::size_t>& members : groups) {
+    NASHLB_EXPECT(!members.empty(),
+                  "class %zu of the partition is empty", part.classes_.size());
+    if (members.empty()) continue;  // unchecked builds: drop, don't crash
+    UserClass cls;
+    cls.phi_min = std::numeric_limits<double>::infinity();
+    cls.phi_max = -std::numeric_limits<double>::infinity();
+    std::size_t prev = 0;
+    bool first = true;
+    for (std::size_t j : members) {
+      NASHLB_EXPECT(j < m, "class %zu names user %zu but the instance has "
+                    "only %zu users", part.classes_.size(), j, m);
+      if (j >= m) continue;  // unchecked builds: skip, don't index OOB
+      NASHLB_EXPECT(first || j > prev,
+                    "class %zu members not strictly ascending at user %zu",
+                    part.classes_.size(), j);
+      NASHLB_EXPECT(part.user_class_[j] == m,
+                    "user %zu appears in classes %zu and %zu (overlap)", j,
+                    part.user_class_[j], part.classes_.size());
+      part.user_class_[j] = part.classes_.size();
+      cls.weight += inst.phi[j];
+      if (inst.phi[j] < cls.phi_min) {
+        cls.phi_min = inst.phi[j];
+        cls.user_min = j;
+      }
+      if (inst.phi[j] > cls.phi_max) {
+        cls.phi_max = inst.phi[j];
+        cls.user_max = j;
+      }
+      prev = j;
+      first = false;
+      ++assigned;
+    }
+    cls.members = std::move(members);
+    // Homogeneous classes take the members' common demand verbatim so the
+    // deviation is exactly zero; W/count would pick up summation rounding
+    // (v + v + v need not equal 3v bitwise).
+    cls.rep_phi = cls.phi_min == cls.phi_max
+                      ? cls.phi_min
+                      : cls.weight / static_cast<double>(cls.members.size());
+    part.total_weight_ += cls.weight;
+    part.rep_phi_.push_back(cls.rep_phi);
+    part.counts_.push_back(static_cast<double>(cls.members.size()));
+    part.classes_.push_back(std::move(cls));
+  }
+  NASHLB_EXPECT(assigned == m,
+                "partition covers %zu of %zu users (incomplete)", assigned, m);
+  for (const UserClass& cls : part.classes_) {
+    for (std::size_t j : cls.members) {
+      const double dev = std::fabs(inst.phi[j] - cls.rep_phi);
+      part.max_abs_dev_ = std::max(part.max_abs_dev_, dev);
+      if (cls.rep_phi > 0.0) {
+        part.max_rel_dev_ = std::max(part.max_rel_dev_, dev / cls.rep_phi);
+      }
+    }
+  }
+  // The class-weight invariant at build time; re-checked by the dynamics
+  // after every round (see core/dynamics.cpp).
+  NASHLB_ENSURE(std::fabs(part.total_weight_ - inst.total_arrival_rate()) <=
+                    1e-9 * std::max(1.0, inst.total_arrival_rate()),
+                "class weights sum to %.17g but Phi=%.17g",
+                part.total_weight_, inst.total_arrival_rate());
+  return part;
+}
+
+UserClassPartition UserClassPartition::exact(const Instance& inst) {
+  const std::vector<std::size_t> order = by_demand(inst);
+  std::vector<std::vector<std::size_t>> groups;
+  for (std::size_t pos = 0; pos < order.size();) {
+    std::size_t end = pos;
+    while (end < order.size() &&
+           inst.phi[order[end]] == inst.phi[order[pos]]) {
+      ++end;
+    }
+    groups.emplace_back(order.begin() + static_cast<std::ptrdiff_t>(pos),
+                        order.begin() + static_cast<std::ptrdiff_t>(end));
+    pos = end;
+  }
+  return build(inst, std::move(groups));
+}
+
+UserClassPartition UserClassPartition::quantized(const Instance& inst,
+                                                 double eps_phi,
+                                                 std::size_t max_classes) {
+  if (!(eps_phi > 0.0) || !std::isfinite(eps_phi)) {
+    throw std::invalid_argument(
+        "UserClassPartition::quantized: eps_phi must be finite and > 0");
+  }
+  const std::vector<std::size_t> order = by_demand(inst);
+  const double lo = inst.phi[order.front()];
+  const double hi = inst.phi[order.back()];
+  if (!(lo > 0.0)) {
+    throw std::invalid_argument(
+        "UserClassPartition::quantized: demands must be > 0");
+  }
+  double ratio = 1.0 + eps_phi;
+  if (max_classes > 0 && hi > lo) {
+    // Widen the cells until max_classes of them span [lo, hi]. The tiny
+    // headroom keeps phi_max strictly inside the last cell.
+    const double needed =
+        std::pow(hi / lo, 1.0 / static_cast<double>(max_classes)) *
+        (1.0 + 1e-12);
+    ratio = std::max(ratio, needed);
+  }
+  const double log_ratio = std::log(ratio);
+  std::vector<std::vector<std::size_t>> groups;
+  long long current_cell = -1;
+  for (std::size_t j : order) {
+    long long cell =
+        hi > lo ? static_cast<long long>(
+                      std::floor(std::log(inst.phi[j] / lo) / log_ratio))
+                : 0;
+    if (max_classes > 0 && cell >= static_cast<long long>(max_classes)) {
+      cell = static_cast<long long>(max_classes) - 1;
+    }
+    if (groups.empty() || cell != current_cell) {
+      groups.emplace_back();
+      current_cell = cell;
+    }
+    groups.back().push_back(j);
+  }
+  // Cell members arrive in demand order; the partition contract wants
+  // them in ascending user order.
+  for (std::vector<std::size_t>& g : groups) std::sort(g.begin(), g.end());
+  return build(inst, std::move(groups));
+}
+
+UserClassPartition UserClassPartition::singletons(const Instance& inst) {
+  std::vector<std::vector<std::size_t>> groups(inst.num_users());
+  for (std::size_t j = 0; j < inst.num_users(); ++j) groups[j] = {j};
+  return build(inst, std::move(groups));
+}
+
+UserClassPartition UserClassPartition::from_members(
+    const Instance& inst, std::vector<std::vector<std::size_t>> members) {
+  return build(inst, std::move(members));
+}
+
+std::size_t UserClassPartition::class_of(std::size_t user) const {
+  if (user >= user_class_.size()) {
+    throw std::out_of_range("UserClassPartition::class_of: user out of range");
+  }
+  return user_class_[user];
+}
+
+bool UserClassPartition::all_singletons() const noexcept {
+  return classes_.size() == user_class_.size();
+}
+
+Instance UserClassPartition::aggregate_instance(const Instance& inst) const {
+  Instance agg;
+  agg.mu = inst.mu;
+  agg.phi.reserve(classes_.size());
+  for (const UserClass& cls : classes_) agg.phi.push_back(cls.weight);
+  return agg;
+}
+
+StrategyProfile UserClassPartition::expand(
+    const StrategyProfile& class_profile) const {
+  if (class_profile.num_users() != classes_.size()) {
+    throw std::invalid_argument(
+        "UserClassPartition::expand: profile has " +
+        std::to_string(class_profile.num_users()) + " rows, partition has " +
+        std::to_string(classes_.size()) + " classes");
+  }
+  StrategyProfile full(user_class_.size(), class_profile.num_computers());
+  for (std::size_t k = 0; k < classes_.size(); ++k) {
+    const std::span<const double> row = class_profile.row(k);
+    for (std::size_t j : classes_[k].members) full.set_row(j, row);
+  }
+  return full;
+}
+
+StrategyProfile UserClassPartition::collapse(
+    const StrategyProfile& full_profile) const {
+  if (full_profile.num_users() != user_class_.size()) {
+    throw std::invalid_argument(
+        "UserClassPartition::collapse: profile has " +
+        std::to_string(full_profile.num_users()) + " rows, partition covers " +
+        std::to_string(user_class_.size()) + " users");
+  }
+  StrategyProfile cls(classes_.size(), full_profile.num_computers());
+  for (std::size_t k = 0; k < classes_.size(); ++k) {
+    cls.set_row(k, full_profile.row(classes_[k].members.front()));
+  }
+  return cls;
+}
+
+std::vector<double> UserClassPartition::expanded_loads(
+    const Instance& inst, const StrategyProfile& class_profile) const {
+  if (class_profile.num_users() != classes_.size() ||
+      class_profile.num_computers() != inst.num_computers()) {
+    throw std::invalid_argument(
+        "UserClassPartition::expanded_loads: dimension mismatch");
+  }
+  std::vector<double> lambda(inst.num_computers(), 0.0);
+  for (std::size_t k = 0; k < classes_.size(); ++k) {
+    const std::span<const double> row = class_profile.row(k);
+    const double w = classes_[k].weight;
+    for (std::size_t i = 0; i < lambda.size(); ++i) lambda[i] += row[i] * w;
+  }
+  return lambda;
+}
+
+void UserClassPartition::expect_matches(
+    [[maybe_unused]] const Instance& inst) const {
+#if NASHLB_CHECK_ENABLED
+  NASHLB_EXPECT(num_users() == inst.num_users(),
+                "partition covers %zu users, instance has %zu", num_users(),
+                inst.num_users());
+  const double phi = inst.total_arrival_rate();
+  NASHLB_EXPECT(std::fabs(total_weight_ - phi) <= 1e-9 * std::max(1.0, phi),
+                "class weights sum to %.17g but Phi=%.17g", total_weight_,
+                phi);
+#endif
+}
+
+std::span<const double> class_reply_into(const Instance& agg,
+                                         const StrategyProfile& s,
+                                         const LoadState& state,
+                                         std::size_t k,
+                                         const UserClassPartition& part,
+                                         BestReplyWorkspace& ws) {
+  if (k >= agg.num_users() || k >= part.num_classes()) {
+    throw std::out_of_range("class_reply_into: class out of range");
+  }
+  const double count = part.member_counts()[k];
+  const double rep = part.rep_phi()[k];
+  if (count <= 1.0) {
+    return best_reply_into(agg, s, state, k, rep, ws);
+  }
+  const std::size_t n = agg.num_computers();
+  ws.resize(n);
+  // a_i: the rate at computer i free of the *whole* class — back out
+  // W_k = agg.phi[k], not just the representative's share.
+  const double weight = agg.phi[k];
+  state.available_rates(s, k, weight, ws.avail);
+  const std::span<const double> a = {ws.avail.data(), n};
+  double sum_a = 0.0;
+  double sum_sqrt = 0.0;
+  double a_max = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(a[i] > 0.0)) {
+      throw std::invalid_argument(
+          "class_reply: other classes overload computer " + std::to_string(i));
+    }
+    sum_a += a[i];
+    sum_sqrt += std::sqrt(a[i]);
+    a_max = std::max(a_max, a[i]);
+  }
+  // Stability of the aggregated instance guarantees sum_i a_i > W_k, so a
+  // root of g always exists.
+  NASHLB_EXPECT(sum_a > weight,
+                "class %zu: free rates sum to %.17g <= weight %.17g", k,
+                sum_a, weight);
+
+  const double beta = (weight - rep) / weight;      // classmates' share
+  const double self = rep / weight;                 // 1 - beta, exactly
+  std::vector<std::size_t>& order = ws.waterfill.order;
+  order.resize(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&a](std::size_t x, std::size_t y) {
+    if (a[x] != a[y]) return a[x] > a[y];
+    return x < y;
+  });
+
+  // g(alpha) = sum_{i in support} T_i(alpha) - W, strictly increasing:
+  // support = {i : a_i > 1/alpha} (a descending prefix of `order`),
+  // sigma_i = (beta + sqrt(beta^2 + 4*alpha*self*a_i)) / (2 alpha),
+  // T_i = a_i - sigma_i. g < 0 at alpha = 1/a_max (empty class flow) and
+  // g -> sum a - W > 0 as alpha -> inf.
+  const auto eval = [&](double alpha, double& dg) {
+    double g = -weight;
+    dg = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      const double ai = a[order[p]];
+      if (!(ai * alpha > 1.0)) break;
+      const double q = 4.0 * self * ai;
+      const double root = std::sqrt(beta * beta + q * alpha);
+      g += ai - (beta + root) / (2.0 * alpha);
+      dg += (q * alpha + 2.0 * beta * (beta + root)) /
+            (4.0 * alpha * alpha * root);
+    }
+    return g;
+  };
+
+  // Bracket the level, starting from the single-player sqrt-rule guess.
+  double lo = 1.0 / a_max;
+  const double guess_t = (sum_a - weight) / sum_sqrt;
+  double alpha = std::max(1.0 / (guess_t * guess_t), lo * (1.0 + 1e-12));
+  double dg = 0.0;
+  double hi = alpha;
+  while (eval(hi, dg) < 0.0) {
+    lo = hi;
+    hi *= 2.0;
+  }
+  alpha = std::min(alpha, hi);
+  // Safeguarded Newton: keep the bracket, bisect when a step escapes it
+  // or fails to halve the residual (so the bracket provably shrinks and
+  // a mis-sized Newton step can never settle into a 2-cycle).
+  double prev_abs_g = std::numeric_limits<double>::infinity();
+  for (int iter = 0; iter < 200; ++iter) {
+    const double g = eval(alpha, dg);
+    const double abs_g = std::fabs(g);
+    if (abs_g <= 1e-13 * weight) break;
+    if (g > 0.0) {
+      hi = alpha;
+    } else {
+      lo = alpha;
+    }
+    double next = dg > 0.0 && abs_g <= 0.5 * prev_abs_g ? alpha - g / dg
+                                                        : 0.5 * (lo + hi);
+    if (!(next > lo) || !(next < hi)) next = 0.5 * (lo + hi);
+    if (next == alpha || !(hi - lo > 1e-15 * hi)) break;
+    prev_abs_g = abs_g;
+    alpha = next;
+  }
+
+  // Final allocation at the solved level; normalize the fractions so the
+  // committed row sits exactly on the simplex.
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) ws.reply[i] = 0.0;
+  for (std::size_t p = 0; p < n; ++p) {
+    const std::size_t i = order[p];
+    const double ai = a[i];
+    if (!(ai * alpha > 1.0)) break;
+    const double root = std::sqrt(beta * beta + 4.0 * self * ai * alpha);
+    const double flow = ai - (beta + root) / (2.0 * alpha);
+    if (flow > 0.0) {
+      ws.reply[i] = flow;
+      total += flow;
+    }
+  }
+  NASHLB_ENSURE(total > 0.0, "class %zu: symmetric reply allocated no flow",
+                k);
+  for (std::size_t i = 0; i < n; ++i) ws.reply[i] /= total;
+#if NASHLB_CHECK_ENABLED
+  // The committed class load must leave every touched computer strictly
+  // stable: T_i < a_i on the support by construction (sigma_i > 0).
+  for (std::size_t i = 0; i < n; ++i) {
+    NASHLB_ENSURE(ws.reply[i] * weight < a[i] || ws.reply[i] == 0.0,
+                  "class %zu overloads computer %zu: flow %.17g >= free "
+                  "rate %.17g",
+                  k, i, ws.reply[i] * weight, a[i]);
+  }
+#endif
+  return {ws.reply.data(), ws.reply.size()};
+}
+
+namespace {
+
+/// Exact best-reply gain of one probe demand against the expanded loads:
+/// the probe currently plays `row` (its class's strategy), so its cost is
+/// D = sum_i row_i / (mu_i − lambda_i) and its best deviation is the
+/// waterfill reply against avail_i = mu_i − lambda_i + row_i·phi.
+struct ProbeGain {
+  double gain = 0.0;    // D − D*, seconds
+  double d_star = 0.0;  // deviated response time D*
+  double u_min = 0.0;   // smallest slack the reply leaves, jobs/sec
+  bool ok = false;      // false when the expanded profile starves a probe
+};
+
+ProbeGain probe_gain(const Instance& inst, std::span<const double> lambda,
+                     std::span<const double> row, double current_d,
+                     double phi) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  ProbeGain out;
+  const std::size_t n = inst.num_computers();
+  std::vector<double> avail(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    avail[i] = inst.mu[i] - (lambda[i] - row[i] * phi);
+    if (!(avail[i] > 0.0)) return out;
+  }
+  const std::vector<double> reply = optimal_fractions(avail, phi);
+  double d_star = 0.0;
+  double u_min = kInf;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double slack = avail[i] - reply[i] * phi;
+    u_min = std::min(u_min, slack);
+    if (reply[i] > 0.0) {
+      if (!(slack > 0.0)) return out;
+      d_star += reply[i] / slack;
+    }
+  }
+  out.gain = current_d - d_star;
+  out.d_star = d_star;
+  out.u_min = u_min;
+  out.ok = true;
+  return out;
+}
+
+}  // namespace
+
+EpsNashCertificate certify_eps_nash(const Instance& inst,
+                                    const UserClassPartition& partition,
+                                    const StrategyProfile& class_profile) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  if (partition.num_users() != inst.num_users()) {
+    throw std::invalid_argument(
+        "certify_eps_nash: partition/instance user count mismatch");
+  }
+  const std::vector<double> lambda =
+      partition.expanded_loads(inst, class_profile);
+  EpsNashCertificate cert;
+  for (std::size_t k = 0; k < partition.num_classes(); ++k) {
+    const UserClass& cls = partition.classes()[k];
+    const std::span<const double> row = class_profile.row(k);
+    // Every member of the class plays `row`, so they all experience the
+    // same response time at the expanded profile.
+    double current_d = 0.0;
+    for (std::size_t i = 0; i < inst.num_computers(); ++i) {
+      if (row[i] > 0.0) {
+        const double slack = inst.mu[i] - lambda[i];
+        if (!(slack > 0.0)) {
+          current_d = kInf;
+          break;
+        }
+        current_d += row[i] / slack;
+      }
+    }
+    if (!std::isfinite(current_d) || !(current_d > 0.0)) {
+      cert.eps_nash = kInf;
+      cert.analytic_bound = kInf;
+      cert.worst_class = k;
+      return cert;
+    }
+    // The representative's residual gap_rep: how far the class profile
+    // is from an exact class-level equilibrium.
+    const ProbeGain rep =
+        probe_gain(inst, lambda, row, current_d, cls.rep_phi);
+    const double rep_gap = rep.ok ? std::max(rep.gain, 0.0) : kInf;
+    cert.rep_gap_seconds = std::max(cert.rep_gap_seconds, rep_gap);
+    // Real-member probes: the bucket extremes (one probe when the
+    // extremes coincide, as in exact mode).
+    const std::size_t probes[2] = {cls.user_min, cls.user_max};
+    const std::size_t num_probes =
+        (cls.user_min == cls.user_max ||
+         inst.phi[cls.user_min] == inst.phi[cls.user_max])
+            ? 1
+            : 2;
+    for (std::size_t p = 0; p < num_probes; ++p) {
+      const std::size_t j = probes[p];
+      const double phi_j = inst.phi[j];
+      const ProbeGain g = probe_gain(inst, lambda, row, current_d, phi_j);
+      ++cert.evaluated_members;
+      const double delta = std::fabs(phi_j - cls.rep_phi);
+      const double eps_j = g.ok ? std::max(g.gain, 0.0) / current_d : kInf;
+      const double spread =
+          g.ok && delta < g.u_min ? delta * g.d_star / (g.u_min - delta)
+                                  : kInf;
+      const double bound_j =
+          std::isfinite(rep_gap) && std::isfinite(spread)
+              ? (rep_gap + spread) / current_d
+              : kInf;
+      if (eps_j > cert.eps_nash) {
+        cert.eps_nash = eps_j;
+        cert.worst_class = k;
+        cert.worst_user = j;
+      }
+      cert.analytic_bound = std::max(cert.analytic_bound, bound_j);
+      cert.max_abs_gain_seconds =
+          std::max(cert.max_abs_gain_seconds, g.ok ? g.gain : kInf);
+    }
+  }
+  return cert;
+}
+
+}  // namespace nashlb::core

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/user_classes.hpp"
+
 namespace nashlb::schemes {
 
 core::DynamicsResult NashScheme::solve_with_trace(
@@ -19,6 +21,11 @@ core::StrategyProfile NashScheme::solve(const core::Instance& inst) const {
     throw std::runtime_error(
         name() + ": best-reply dynamics did not converge within " +
         std::to_string(max_iterations_) + " iterations");
+  }
+  if (base_options_.classes != nullptr) {
+    // Class-mode runs return a class-level profile; the Scheme contract
+    // promises a full m x n strategy profile, so expand it here.
+    return base_options_.classes->expand(res.profile);
   }
   return std::move(res.profile);
 }

@@ -38,8 +38,12 @@ class NashScheme final : public Scheme {
       const core::Instance& inst) const;
 
   /// Extra dynamics knobs (update order, trace sink, certificate stride,
-  /// order seed). The constructor's init/tolerance/max_iterations still
-  /// take precedence over the corresponding fields here.
+  /// order seed, user-class partition). The constructor's
+  /// init/tolerance/max_iterations still take precedence over the
+  /// corresponding fields here. When `classes` is set, solve() expands
+  /// the class-level equilibrium back to the full per-user profile
+  /// (solve_with_trace returns the raw class-level result; see
+  /// docs/SCALING.md).
   void set_dynamics_options(const core::DynamicsOptions& base) {
     base_options_ = base;
   }

@@ -1,0 +1,346 @@
+// User-class aggregation (core/user_classes): partition construction,
+// the expand/collapse round trip, the eps-Nash certificate, and the
+// structural pin that the singleton partition makes the class dynamics
+// bitwise identical to the per-user solver. See docs/SCALING.md.
+#include "core/user_classes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "core/best_reply.hpp"
+#include "core/cost.hpp"
+#include "core/dynamics.hpp"
+#include "core/equilibrium.hpp"
+#include "schemes/nash.hpp"
+#include "stats/rng.hpp"
+#include "util/contracts.hpp"
+
+namespace nashlb::core {
+namespace {
+
+/// Heterogeneous test system: 8 computers in the Table-1 speed classes,
+/// m users with log-uniform demands spanning ~20x, at 60% utilization.
+Instance hetero_instance(std::size_t m, std::uint64_t seed) {
+  Instance inst;
+  inst.mu = {10.0, 20.0, 50.0, 100.0, 10.0, 20.0, 50.0, 100.0};
+  const double cap = std::accumulate(inst.mu.begin(), inst.mu.end(), 0.0);
+  stats::Xoshiro256 rng(seed);
+  inst.phi.resize(m);
+  double total = 0.0;
+  for (double& phi : inst.phi) {
+    phi = std::exp(rng.next_double() * std::log(20.0));
+    total += phi;
+  }
+  for (double& phi : inst.phi) phi *= 0.6 * cap / total;
+  inst.validate();
+  return inst;
+}
+
+/// A system whose demands repeat a short cycle exactly — the natural
+/// input of the `exact` grouping mode.
+Instance repeated_instance(std::size_t m) {
+  Instance inst;
+  inst.mu = {10.0, 20.0, 50.0, 100.0};
+  const double cap = std::accumulate(inst.mu.begin(), inst.mu.end(), 0.0);
+  static const double kCycle[3] = {1.0, 2.0, 5.0};
+  inst.phi.resize(m);
+  double total = 0.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    inst.phi[j] = kCycle[j % 3];
+    total += inst.phi[j];
+  }
+  for (double& phi : inst.phi) phi *= 0.6 * cap / total;
+  inst.validate();
+  return inst;
+}
+
+TEST(UserClasses, ExactGroupsEqualDemandsAndKeepsWeightInvariant) {
+  const Instance inst = repeated_instance(30);
+  const UserClassPartition part = UserClassPartition::exact(inst);
+  EXPECT_EQ(part.num_classes(), 3u);
+  EXPECT_EQ(part.num_users(), 30u);
+  EXPECT_EQ(part.max_abs_deviation(), 0.0);
+  EXPECT_EQ(part.max_rel_deviation(), 0.0);
+  const double phi_total = inst.total_arrival_rate();
+  EXPECT_NEAR(part.total_weight(), phi_total, 1e-9 * phi_total);
+  for (const UserClass& cls : part.classes()) {
+    EXPECT_EQ(cls.members.size(), 10u);
+    EXPECT_DOUBLE_EQ(cls.phi_min, cls.phi_max);
+    EXPECT_DOUBLE_EQ(cls.rep_phi, cls.phi_min);
+    // Every member maps back to its class.
+    for (std::size_t j : cls.members) {
+      EXPECT_EQ(&part.classes()[part.class_of(j)], &cls);
+    }
+  }
+}
+
+TEST(UserClasses, QuantizedRespectsWidthAndClassCap) {
+  const Instance inst = hetero_instance(400, 7);
+  const UserClassPartition fine = UserClassPartition::quantized(inst, 1e-3);
+  // Geometric cells of relative width eps: every member sits within
+  // roughly eps of its representative.
+  EXPECT_LE(fine.max_rel_deviation(), 1e-3);
+  EXPECT_GT(fine.num_classes(), 1u);
+  EXPECT_LT(fine.num_classes(), inst.num_users());
+
+  const UserClassPartition capped =
+      UserClassPartition::quantized(inst, 1e-6, 8);
+  EXPECT_LE(capped.num_classes(), 8u);
+  const double phi_total = inst.total_arrival_rate();
+  EXPECT_NEAR(capped.total_weight(), phi_total, 1e-9 * phi_total);
+}
+
+TEST(UserClasses, QuantizedRejectsBadWidth) {
+  const Instance inst = hetero_instance(10, 1);
+  EXPECT_THROW(static_cast<void>(UserClassPartition::quantized(inst, 0.0)),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(UserClassPartition::quantized(inst, -1.0)),
+               std::invalid_argument);
+}
+
+TEST(UserClasses, ExpandCollapseRoundTrip) {
+  const Instance inst = hetero_instance(100, 3);
+  const UserClassPartition part = UserClassPartition::quantized(inst, 0.05);
+  const Instance agg = part.aggregate_instance(inst);
+  const StrategyProfile cls = StrategyProfile::proportional(agg);
+  const StrategyProfile full = part.expand(cls);
+  EXPECT_EQ(full.num_users(), inst.num_users());
+  // Every member plays its class's row, bitwise.
+  for (std::size_t j = 0; j < inst.num_users(); ++j) {
+    const std::size_t k = part.class_of(j);
+    for (std::size_t i = 0; i < inst.num_computers(); ++i) {
+      EXPECT_EQ(full.row(j)[i], cls.row(k)[i]);
+    }
+  }
+  const StrategyProfile back = part.collapse(full);
+  EXPECT_EQ(back.max_difference(cls), 0.0);
+}
+
+TEST(UserClasses, ExpandedLoadsMatchExpandedProfile) {
+  const Instance inst = hetero_instance(100, 5);
+  const UserClassPartition part = UserClassPartition::quantized(inst, 0.05);
+  const Instance agg = part.aggregate_instance(inst);
+  const StrategyProfile cls = StrategyProfile::proportional(agg);
+  const std::vector<double> fast = part.expanded_loads(inst, cls);
+  const std::vector<double> slow = part.expand(cls).loads(inst);
+  ASSERT_EQ(fast.size(), slow.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(fast[i], slow[i], 1e-9 * (1.0 + slow[i]));
+  }
+}
+
+// --- the structural pin: singleton class dynamics == per-user solver ----
+
+void expect_bitwise_equal(const DynamicsResult& a, const DynamicsResult& b) {
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.profile.max_difference(b.profile), 0.0);
+  ASSERT_EQ(a.norm_history.size(), b.norm_history.size());
+  for (std::size_t l = 0; l < a.norm_history.size(); ++l) {
+    EXPECT_EQ(a.norm_history[l], b.norm_history[l]) << "round " << l + 1;
+  }
+  ASSERT_EQ(a.user_times.size(), b.user_times.size());
+  for (std::size_t j = 0; j < a.user_times.size(); ++j) {
+    EXPECT_EQ(a.user_times[j], b.user_times[j]) << "user " << j;
+  }
+}
+
+TEST(UserClasses, SingletonDynamicsBitwiseMatchesPerUserSolver) {
+  for (const std::uint64_t seed : {11ull, 42ull, 2002ull}) {
+    const Instance inst = hetero_instance(24, seed);
+    const UserClassPartition part = UserClassPartition::singletons(inst);
+    ASSERT_TRUE(part.all_singletons());
+    for (const UpdateOrder order : {UpdateOrder::RoundRobin,
+                                    UpdateOrder::Simultaneous,
+                                    UpdateOrder::RandomOrder}) {
+      for (const Initialization init :
+           {Initialization::Proportional, Initialization::Zero}) {
+        DynamicsOptions opts;
+        opts.init = init;
+        opts.order = order;
+        opts.tolerance = 1e-7;
+        const DynamicsResult per_user = best_reply_dynamics(inst, opts);
+        opts.classes = &part;
+        const DynamicsResult via_classes = best_reply_dynamics(inst, opts);
+        SCOPED_TRACE(testing::Message()
+                     << "seed=" << seed << " order="
+                     << static_cast<int>(order)
+                     << " init=" << static_cast<int>(init));
+        expect_bitwise_equal(per_user, via_classes);
+      }
+    }
+  }
+}
+
+TEST(UserClasses, SingletonPooledJacobiBitwiseMatchesPerUserSolver) {
+  const Instance inst = hetero_instance(32, 9);
+  const UserClassPartition part = UserClassPartition::singletons(inst);
+  DynamicsOptions opts;
+  opts.order = UpdateOrder::Simultaneous;
+  opts.tolerance = 1e-7;
+  opts.threads = 4;
+  const DynamicsResult per_user = best_reply_dynamics(inst, opts);
+  opts.classes = &part;
+  const DynamicsResult via_classes = best_reply_dynamics(inst, opts);
+  expect_bitwise_equal(per_user, via_classes);
+}
+
+TEST(UserClasses, StartingProfileOverloadRunsAtClassLevel) {
+  const Instance inst = hetero_instance(60, 13);
+  const UserClassPartition part = UserClassPartition::quantized(inst, 0.05);
+  const Instance agg = part.aggregate_instance(inst);
+  DynamicsOptions opts;
+  opts.tolerance = 1e-7;
+  opts.classes = &part;
+  const DynamicsResult res = best_reply_dynamics_from(
+      inst, StrategyProfile::proportional(agg), opts);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.profile.num_users(), part.num_classes());
+  // A per-user-shaped start is a contract violation in class mode.
+  EXPECT_THROW(static_cast<void>(best_reply_dynamics_from(
+                   inst, StrategyProfile::proportional(inst), opts)),
+               std::invalid_argument);
+}
+
+// --- eps-Nash certificate ------------------------------------------------
+
+TEST(UserClasses, ExactClassEquilibriumCertifiesNearZeroEps) {
+  const Instance inst = repeated_instance(60);
+  const UserClassPartition part = UserClassPartition::exact(inst);
+  DynamicsOptions opts;
+  opts.tolerance = 1e-10;
+  opts.classes = &part;
+  const DynamicsResult res = best_reply_dynamics(inst, opts);
+  ASSERT_TRUE(res.converged);
+  const EpsNashCertificate cert = certify_eps_nash(inst, part, res.profile);
+  // Exact mode: delta = 0, so the bound collapses to gap_rep / D — tiny
+  // at this tolerance — and the expanded profile is a Nash equilibrium.
+  EXPECT_LT(cert.eps_nash, 1e-8);
+  EXPECT_LT(cert.analytic_bound, 1e-6);
+  EXPECT_TRUE(
+      is_nash_equilibrium(inst, part.expand(res.profile), 1e-6));
+}
+
+TEST(UserClasses, QuantizedCertificateBoundsEveryUsersGain) {
+  const Instance inst = hetero_instance(200, 21);
+  // A deliberately coarse bucketing so the eps is visibly nonzero.
+  const UserClassPartition part = UserClassPartition::quantized(inst, 0.1);
+  DynamicsOptions opts;
+  // Far below the ~1e-2 bucketing error the certificate measures; tighter
+  // tolerances hit the dynamics' numerical noise floor on this instance.
+  opts.tolerance = 1e-7;
+  opts.classes = &part;
+  const DynamicsResult res = best_reply_dynamics(inst, opts);
+  ASSERT_TRUE(res.converged);
+  const EpsNashCertificate cert = certify_eps_nash(inst, part, res.profile);
+  ASSERT_TRUE(std::isfinite(cert.analytic_bound));
+  EXPECT_GE(cert.eps_nash, 0.0);
+  EXPECT_LE(cert.eps_nash, cert.analytic_bound + 1e-9);
+  EXPECT_GE(cert.evaluated_members, part.num_classes());
+
+  // The analytic bound must dominate the *brute-force* relative gain of
+  // every user, not just the probed bucket extremes.
+  const StrategyProfile full = part.expand(res.profile);
+  double brute = 0.0;
+  for (std::size_t j = 0; j < inst.num_users(); ++j) {
+    const double gain = best_reply_gain(inst, full, j);
+    const double d = user_response_time(inst, full, j);
+    ASSERT_TRUE(std::isfinite(d));
+    brute = std::max(brute, std::max(gain, 0.0) / d);
+  }
+  EXPECT_LE(brute, cert.analytic_bound + 1e-9);
+}
+
+TEST(UserClasses, FinerBucketsTightenTheCertificate) {
+  const Instance inst = hetero_instance(300, 33);
+  double prev_bound = std::numeric_limits<double>::infinity();
+  for (const double eps_phi : {0.2, 0.02, 0.002}) {
+    const UserClassPartition part =
+        UserClassPartition::quantized(inst, eps_phi);
+    DynamicsOptions opts;
+    // The finest width is near-singleton granularity, where Gauss–Seidel
+    // over 300 crowded users converges slowly — stop well below the
+    // bucketing error the certificate measures rather than at a depth
+    // the dynamics cannot reach in the round cap.
+    opts.tolerance = 1e-5;
+    opts.max_iterations = 5000;
+    opts.classes = &part;
+    const DynamicsResult res = best_reply_dynamics(inst, opts);
+    ASSERT_TRUE(res.converged);
+    const EpsNashCertificate cert =
+        certify_eps_nash(inst, part, res.profile);
+    EXPECT_LE(cert.analytic_bound, prev_bound * (1.0 + 1e-6))
+        << "eps_phi=" << eps_phi;
+    prev_bound = cert.analytic_bound;
+  }
+  // At the finest width the certificate is comfortably inside 1e-3 — the
+  // regime the scale bench gates (see bench/bench_scale.cpp).
+  EXPECT_LT(prev_bound, 1e-3);
+}
+
+// --- scheme integration --------------------------------------------------
+
+TEST(UserClasses, NashSchemeExpandsClassModeToFullProfile) {
+  const Instance inst = hetero_instance(80, 17);
+  const UserClassPartition part = UserClassPartition::quantized(inst, 0.01);
+  schemes::NashScheme scheme(Initialization::Proportional, 1e-7);
+  DynamicsOptions base;
+  base.classes = &part;
+  scheme.set_dynamics_options(base);
+  const StrategyProfile full = scheme.solve(inst);
+  EXPECT_EQ(full.num_users(), inst.num_users());
+  EXPECT_EQ(full.num_computers(), inst.num_computers());
+  EXPECT_TRUE(full.is_feasible(inst));
+}
+
+// --- contracts -----------------------------------------------------------
+
+#if NASHLB_CHECK_ENABLED
+
+
+TEST(UserClassesDeathTest, OverlappingClassesAbort) {
+  const Instance inst = hetero_instance(4, 1);
+  EXPECT_DEATH(static_cast<void>(UserClassPartition::from_members(
+                   inst, {{0, 1}, {1, 2, 3}})),
+               "NASHLB_EXPECT.*overlap");
+}
+
+TEST(UserClassesDeathTest, EmptyClassAborts) {
+  const Instance inst = hetero_instance(4, 1);
+  EXPECT_DEATH(static_cast<void>(UserClassPartition::from_members(
+                   inst, {{0, 1, 2, 3}, {}})),
+               "NASHLB_EXPECT.*empty");
+}
+
+TEST(UserClassesDeathTest, IncompletePartitionAborts) {
+  const Instance inst = hetero_instance(4, 1);
+  EXPECT_DEATH(static_cast<void>(
+                   UserClassPartition::from_members(inst, {{0, 1, 3}})),
+               "NASHLB_EXPECT.*incomplete");
+}
+
+#else
+
+TEST(UserClassesDeathTest, SkippedWithoutContractLayer) {
+  GTEST_SKIP() << "partition contracts compile to no-ops without "
+                  "-DNASHLB_CHECK=ON";
+}
+
+#endif
+
+TEST(UserClasses, MismatchedPartitionThrows) {
+  const Instance inst = hetero_instance(20, 1);
+  const Instance other = hetero_instance(30, 1);
+  const UserClassPartition part = UserClassPartition::singletons(other);
+  DynamicsOptions opts;
+  opts.classes = &part;
+  EXPECT_THROW(static_cast<void>(best_reply_dynamics(inst, opts)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nashlb::core

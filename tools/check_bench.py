@@ -18,13 +18,15 @@ a fresh run regressed past the tolerance:
   * structural fields (kind, m, n, threads, iterations, converged,
     equilibrium_check) must match exactly — a changed iteration count
     means the algorithm changed, which a perf PR must not do silently;
-  * quality floats (max_profile_diff, best_reply_gap) may not grow by
-    more than 10x past an absolute floor of 1e-9 — they are certificate
-    values near zero, so relative comparison alone is meaningless.
+  * quality floats (max_profile_diff, best_reply_gap, eps_nash_bound)
+    may not grow by more than 10x past an absolute floor of 1e-9 — they
+    are certificate values near zero, so relative comparison alone is
+    meaningless.
 
-Rows are matched by their (m, n, threads) key (threads absent on
-single-threaded benches like BENCH_scale.json); added or removed rows
-fail (the sweep grid is part of the baseline's contract).
+Rows are matched by their (m, n, threads, classes) key (threads absent
+on single-threaded benches like BENCH_scale.json; classes present only
+on the user-class aggregation rows — see docs/SCALING.md); added or
+removed rows fail (the sweep grid is part of the baseline's contract).
 
 Every invocation first runs a built-in selftest: it injects a synthetic
 regression into an in-memory copy of the baseline and asserts the
@@ -52,7 +54,7 @@ import sys
 SKIP = 77
 
 TIMING_SUFFIX = "_seconds"
-QUALITY_FIELDS = ("max_profile_diff", "best_reply_gap")
+QUALITY_FIELDS = ("max_profile_diff", "best_reply_gap", "eps_nash_bound")
 QUALITY_GROWTH = 10.0
 QUALITY_FLOOR = 1e-9
 EXACT_FIELDS = ("kind", "m", "n", "threads", "iterations", "converged",
@@ -60,14 +62,17 @@ EXACT_FIELDS = ("kind", "m", "n", "threads", "iterations", "converged",
 
 
 def row_key(row):
-    return (row.get("m"), row.get("n"), row.get("threads"))
+    return (row.get("m"), row.get("n"), row.get("threads"),
+            row.get("classes"))
 
 
 def key_str(key):
-    m, n, threads = key
+    m, n, threads, classes = key
     s = "m=%s n=%s" % (m, n)
     if threads is not None:
         s += " threads=%s" % threads
+    if classes is not None:
+        s += " classes=%s" % classes
     return s
 
 
@@ -173,6 +178,28 @@ def selftest(baseline, tolerance):
             if not compare(baseline, worse, tolerance):
                 return ("selftest: degraded max_profile_diff on a "
                         "threads-keyed row was not flagged")
+    class_rows = [r for r in rows if r.get("classes") is not None]
+    if class_rows:
+        # Class-keyed rows: the classes count is part of the row key, so
+        # a changed partition size must surface as a grid change ...
+        moved = copy.deepcopy(baseline)
+        for r in moved["rows"]:
+            if r.get("classes") is not None:
+                r["classes"] = int(r["classes"]) + 1
+                break
+        if not compare(baseline, moved, tolerance):
+            return ("selftest: changed classes count was not flagged as "
+                    "a grid change")
+        # ... and a degraded eps-Nash certificate must be flagged.
+        if any("eps_nash_bound" in r for r in class_rows):
+            worse = copy.deepcopy(baseline)
+            for r in worse["rows"]:
+                if r.get("classes") is not None and "eps_nash_bound" in r:
+                    r["eps_nash_bound"] = 1.0
+                    break
+            if not compare(baseline, worse, tolerance):
+                return ("selftest: degraded eps_nash_bound on a "
+                        "class-keyed row was not flagged")
     return None
 
 

@@ -4,8 +4,8 @@
 # Fails if:
 #   * a src/<module>/ directory has no `<module>` row in README.md's
 #     Architecture table;
-#   * docs/OBSERVABILITY.md or docs/STATIC_ANALYSIS.md is missing, or
-#     README.md does not link it.
+#   * docs/OBSERVABILITY.md, docs/STATIC_ANALYSIS.md or docs/SCALING.md
+#     is missing, or README.md does not link it.
 #
 # Usage: tools/check_docs.sh [repo-root]   (default: script's parent dir)
 set -u
@@ -30,9 +30,9 @@ for dir in "$root"/src/*/; do
     fi
 done
 
-# The observability and static-analysis docs must exist and be
-# reachable from the README.
-for doc in OBSERVABILITY STATIC_ANALYSIS; do
+# The observability, static-analysis and scaling docs must exist and
+# be reachable from the README.
+for doc in OBSERVABILITY STATIC_ANALYSIS SCALING; do
     if [ ! -f "$root/docs/$doc.md" ]; then
         fail "docs/$doc.md is missing"
     elif ! grep -q "docs/$doc.md" "$readme"; then
@@ -46,6 +46,16 @@ for section in "## Histograms" "## Span tracing" "## Sharded registries"; do
     if [ -f "$root/docs/OBSERVABILITY.md" ] && \
        ! grep -q "^$section" "$root/docs/OBSERVABILITY.md"; then
         fail "docs/OBSERVABILITY.md is missing its \"$section\" section"
+    fi
+done
+
+# The scaling doc must keep the sections the class-aggregation layer
+# and its certificate are specified by.
+for section in "## Class construction" "## The symmetric within-class reply" \
+               "## The eps-Nash bound" "## Choosing eps_phi and K"; do
+    if [ -f "$root/docs/SCALING.md" ] && \
+       ! grep -q "^$section" "$root/docs/SCALING.md"; then
+        fail "docs/SCALING.md is missing its \"$section\" section"
     fi
 done
 
