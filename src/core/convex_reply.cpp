@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/contracts.hpp"
+
 namespace nashlb::core {
 namespace {
 
@@ -195,6 +197,12 @@ GenericDynamicsResult generic_best_reply_dynamics(
     }
   }
   res.user_times = std::move(last_times);
+  // One history entry per completed round: the convergence plots and
+  // the iteration-count comparisons against the paper's NASH algorithm
+  // both read norm_history[iterations - 1] as the final norm.
+  NASHLB_ENSURE(res.norm_history.size() == res.iterations,
+                "norm history has %zu entries after %zu rounds",
+                res.norm_history.size(), res.iterations);
   return res;
 }
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/contracts.hpp"
+
 namespace nashlb::core {
 namespace {
 
@@ -16,6 +18,12 @@ std::vector<double> computer_response_times(const Instance& inst,
   for (std::size_t i = 0; i < lambda.size(); ++i) {
     const double slack = inst.mu[i] - lambda[i];
     f[i] = slack > 0.0 ? 1.0 / slack : kInf;
+    // Equation (1): an M/M/1 response time is positive whenever it is
+    // defined; a nonpositive F_i means mu or lambda went negative
+    // upstream, which every downstream cost average would silently
+    // absorb.
+    NASHLB_ENSURE(f[i] > 0.0, "computer %zu: F_i=%.17g <= 0 (mu=%.17g, "
+                  "lambda=%.17g)", i, f[i], inst.mu[i], lambda[i]);
   }
   return f;
 }
@@ -81,6 +89,10 @@ double overall_response_time_from_loads(std::span<const double> lambda,
     }
   }
   if (total_rate == 0.0) return 0.0;
+  // Sum of lambda_i/(mu_i - lambda_i) terms with lambda_i > 0 and
+  // positive slack: a negative accumulator means a load or rate was
+  // negative, which the averaged figure-4/6 numbers would hide.
+  NASHLB_ENSURE(acc >= 0.0, "negative response-time mass %.17g", acc);
   return acc / total_rate;
 }
 

@@ -117,8 +117,13 @@ DynamicsResult run(const Instance& inst, StrategyProfile profile,
   const std::span<const double> norm_weight =
       class_mode ? classes->member_counts() : std::span<const double>();
   DynamicsResult result{std::move(profile), false, false, 0, {}, {}};
+  // Wall clock feeds the obs trace's elapsed-seconds column only; no
+  // iterate, tolerance, or ordering ever reads it, so determinism of
+  // the solve is unaffected.
+  // nashlb-analyzer: allow(nondeterminism-sources) -- trace-only timing
   const auto wall_start = std::chrono::steady_clock::now();
   const auto wall_seconds = [&wall_start] {
+    // nashlb-analyzer: allow(nondeterminism-sources) -- trace-only timing
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                          wall_start)
         .count();

@@ -7,6 +7,7 @@
 
 #include "core/best_reply.hpp"
 #include "core/cost.hpp"
+#include "util/contracts.hpp"
 
 namespace nashlb::core {
 
@@ -72,6 +73,12 @@ double kkt_residual(const Instance& inst, const StrategyProfile& s,
     return 1.0;
   }
   alpha /= weight;
+  // KKT multiplier: the flow-weighted marginal cost on the support is a
+  // mean of strictly positive marginals g_i = mu^j_i / slack^2, so a
+  // nonpositive alpha means the slack guard above was bypassed and the
+  // normalized residual below would flip sign.
+  NASHLB_ENSURE(alpha > 0.0, "user %zu: support marginal alpha=%.17g <= 0",
+                user, alpha);
 
   double residual = 0.0;
   for (std::size_t i = 0; i < g.size(); ++i) {
@@ -112,6 +119,10 @@ double best_random_deviation_gain(const Instance& inst,
     const double d = user_response_time(inst, deviated, user);
     best_gain = std::max(best_gain, base - d);
   }
+  // A deviation "gain" is clamped at zero by construction; a negative
+  // value would invert every epsilon-Nash certificate built on it.
+  NASHLB_ENSURE(best_gain >= 0.0, "user %zu: negative deviation gain %.17g",
+                user, best_gain);
   return best_gain;
 }
 

@@ -71,6 +71,11 @@ void LoadState::available_rates(const StrategyProfile& s, std::size_t user,
     throw std::invalid_argument(
         "LoadState::available_rates: output size mismatch");
   }
+  // Own-flow demand is a job rate (phi_j or a class representative's
+  // share): a negative value would *inflate* mu^j and let a best reply
+  // overload the computer it came from.
+  NASHLB_EXPECT(self_demand >= 0.0, "user %zu: negative self demand %.17g",
+                user, self_demand);
   const std::span<const double> row = s.row(user);
   const double rate = self_demand;
   for (std::size_t i = 0; i < lambda_.size(); ++i) {
@@ -133,6 +138,10 @@ double LoadState::user_response_time(const StrategyProfile& s,
       d += row[i] * (1.0 / slack);  // same rounding as cost.hpp's F_i
     }
   }
+  // D_j sums nonnegative fractions times positive response times; a
+  // negative value means lambda drifted above mu without tripping the
+  // slack guard, i.e. the state is stale.
+  NASHLB_ENSURE(d >= 0.0, "user %zu: negative response time %.17g", user, d);
   return d;
 }
 

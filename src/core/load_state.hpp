@@ -79,6 +79,9 @@ class LoadState {
 
   /// Max-norm distance between the carried lambda and a from-scratch
   /// recompute of `s`'s loads — O(m·n). Diagnostic for drift tests.
+  // nashlb-analyzer: allow(contract-coverage) -- max_drift is the primitive
+  // the consistency contract itself is built from (assert_consistent wraps
+  // it in NASHLB_INVARIANT); contracting it would be circular.
   [[nodiscard]] double max_drift(const StrategyProfile& s) const;
 
   /// Contract hook: under -DNASHLB_CHECK=ON aborts if the carried lambda

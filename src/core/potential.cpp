@@ -6,6 +6,7 @@
 #include "core/cost.hpp"
 #include "core/dynamics.hpp"
 #include "core/waterfill.hpp"
+#include "util/contracts.hpp"
 
 namespace nashlb::core {
 
@@ -22,6 +23,10 @@ double beckmann_potential(std::span<const double> lambda,
     }
     b += std::log(mu[i]) - std::log(mu[i] - lambda[i]);
   }
+  // Each term log(mu_i / (mu_i - lambda_i)) is >= 0 for feasible loads
+  // (0 <= lambda < mu), so the Beckmann potential is nonnegative — the
+  // descent argument for best-reply convergence needs this floor.
+  NASHLB_ENSURE(b >= 0.0, "negative potential %.17g on feasible loads", b);
   return b;
 }
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/contracts.hpp"
+
 namespace nashlb::core {
 
 double Instance::total_arrival_rate() const noexcept {
@@ -154,6 +156,10 @@ double StrategyProfile::max_difference(const StrategyProfile& other) const {
   for (std::size_t k = 0; k < data_.size(); ++k) {
     worst = std::max(worst, std::fabs(data_[k] - other.data_[k]));
   }
+  // A max-norm distance is nonnegative and finite for finite profiles;
+  // NaN here (a poisoned fraction) would make every convergence test
+  // comparing against a tolerance vacuously pass.
+  NASHLB_ENSURE(worst >= 0.0, "max_difference produced %.17g", worst);
   return worst;
 }
 

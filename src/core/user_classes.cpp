@@ -209,6 +209,12 @@ StrategyProfile UserClassPartition::expand(
     const std::span<const double> row = class_profile.row(k);
     for (std::size_t j : classes_[k].members) full.set_row(j, row);
   }
+  // Every user belongs to exactly one class (ctor invariant), so the
+  // expansion writes each of the m rows exactly once; a partition with
+  // orphaned users would leave all-zero (infeasible) rows here.
+  NASHLB_ENSURE(full.num_users() == num_users(),
+                "expanded %zu rows for %zu users", full.num_users(),
+                num_users());
   return full;
 }
 
@@ -224,6 +230,9 @@ StrategyProfile UserClassPartition::collapse(
   for (std::size_t k = 0; k < classes_.size(); ++k) {
     cls.set_row(k, full_profile.row(classes_[k].members.front()));
   }
+  NASHLB_ENSURE(cls.num_users() == num_classes(),
+                "collapsed to %zu rows for %zu classes", cls.num_users(),
+                num_classes());
   return cls;
 }
 
@@ -240,6 +249,18 @@ std::vector<double> UserClassPartition::expanded_loads(
     const double w = classes_[k].weight;
     for (std::size_t i = 0; i < lambda.size(); ++i) lambda[i] += row[i] * w;
   }
+#if NASHLB_CHECK_ENABLED
+  // Flow conservation: with every class row on the simplex, the
+  // expanded loads carry the aggregate weight sum_k W_k = Phi — the
+  // certificate math in certify_eps_nash divides by this mass, so a
+  // partition whose weights drifted from the instance must abort here.
+  double mass = 0.0;
+  for (double l : lambda) mass += l;
+  NASHLB_EXPECT(
+      std::fabs(mass - total_weight_) <= 1e-7 * std::max(1.0, total_weight_),
+      "expanded loads carry %.17g of the partition's %.17g total flow", mass,
+      total_weight_);
+#endif
   return lambda;
 }
 

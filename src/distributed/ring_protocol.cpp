@@ -32,6 +32,9 @@ struct ProtocolState {
   std::vector<double> last_times;  // D_j at each user's previous update
   std::size_t round = 1;
   double norm = 0.0;
+  // Wall clock feeds the round trace's elapsed-seconds column only —
+  // protocol time is the DES simulator's `sim.now()`, never this.
+  // nashlb-analyzer: allow(nondeterminism-sources) -- trace-only timing
   std::chrono::steady_clock::time_point wall_start =
       std::chrono::steady_clock::now();
   RingResult result;
@@ -141,6 +144,7 @@ void close_round(const std::shared_ptr<ProtocolState>& st) {
     st->opts.trace->record(
         {static_cast<std::int64_t>(st->round), st->norm,
          static_cast<std::int64_t>(st->result.messages), st->sim.now(),
+         // nashlb-analyzer: allow(nondeterminism-sources) -- trace-only
          std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        st->wall_start)
              .count()});

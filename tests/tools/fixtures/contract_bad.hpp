@@ -1,0 +1,24 @@
+// Golden fixture: public core API without contract coverage.
+// Analyzed as if at src/core/contract_bad.hpp.
+#pragma once
+
+struct StrategyProfile {};
+
+// Audited (StrategyProfile parameter), no contract anywhere: finding.
+inline double reply_gap(const StrategyProfile& s, int user) {
+  (void)s;
+  return user * 0.0;
+}
+
+// Audited but covered through a callee that states a contract: clean.
+inline void check_user(int user) {
+  NASHLB_EXPECT(user >= 0, "user %d out of range", user);
+}
+inline double covered_gap(const StrategyProfile& s, int user) {
+  (void)s;
+  check_user(user);
+  return 0.0;
+}
+
+// Not audited (no profile/fractions/loads parameter): clean.
+inline int plain_helper(int x) { return x + 1; }

@@ -1,0 +1,32 @@
+// Golden fixture: allocations inside a designated hot function.
+// Analyzed as if at src/core/hot_alloc_bad.cpp (the `_into` suffix puts
+// reply_into in the hot set). Expected findings: hot_alloc_bad.expected.
+namespace std {
+template <class T>
+struct vector {
+  void push_back(const T&);
+  void reserve(unsigned long);
+};
+template <class T, class U>
+T* make_unique(U);
+}  // namespace std
+
+void reply_into(double* out, unsigned long n) {
+  std::vector<double> scratch;           // line 15: allocating local
+  double* raw = new double[n];           // line 16: new-expression
+  auto owned = std::make_unique<double, unsigned long>(n);  // line 17
+  for (unsigned long i = 0; i < n; ++i) {
+    scratch.push_back(0.0);              // line 19: push_back, no reserve
+    out[i] = raw[i];
+  }
+  (void)owned;
+}
+
+// Cold sibling: same body, not in the hot set — no findings expected.
+void reply_setup(double* out, unsigned long n) {
+  std::vector<double> scratch;
+  for (unsigned long i = 0; i < n; ++i) {
+    scratch.push_back(0.0);
+    out[i] = 0.0;
+  }
+}

@@ -1,0 +1,25 @@
+// Golden fixture: float accumulation over unordered iteration.
+// Analyzed as if at src/core/unordered_accum_bad.cpp.
+namespace std {
+template <class K, class V>
+struct unordered_map {
+  struct value_type {
+    K first;
+    V second;
+  };
+  value_type* begin();
+  value_type* end();
+};
+}  // namespace std
+
+double total_load(std::unordered_map<int, double>& per_user) {
+  double sum = 0.0;
+  for (auto& kv : per_user) {
+    sum += kv.second;  // line 18: order-dependent float fold
+  }
+  // Per-key writes reference the loop variable: order-independent, OK.
+  for (auto& kv : per_user) {
+    kv.second *= 2.0;
+  }
+  return sum;
+}

@@ -1,0 +1,15 @@
+// Golden fixture: a waiver without a reason is itself a finding, and it
+// still suppresses the underlying rule (the waiver-missing-reason
+// finding is the enforcement point, not a double report).
+// Analyzed as if at src/core/waiver_missing_reason.cpp.
+namespace std {
+struct random_device {
+  unsigned operator()();
+};
+}  // namespace std
+
+unsigned seed_from_entropy() {
+  // nashlb-analyzer: allow(nondeterminism-sources)
+  std::random_device rd;
+  return rd();
+}

@@ -1,0 +1,33 @@
+// Golden fixture: the same violations as nondet_bad.cpp, every one
+// carrying a reasoned waiver — expected output is empty (exit 0).
+// Analyzed as if at src/core/waiver_roundtrip.cpp.
+namespace std {
+struct random_device {
+  unsigned operator()();
+};
+namespace chrono {
+struct steady_clock {
+  static long now();
+};
+}  // namespace chrono
+}  // namespace std
+
+unsigned seed_from_entropy() {
+  // nashlb-analyzer: allow(nondeterminism-sources) -- fixture: seeding a
+  // diagnostics-only RNG whose draws never reach solver state
+  std::random_device rd;
+  return rd();
+}
+
+long stamp() {
+  // Trailing-form waiver on the offending line itself.
+  return std::chrono::steady_clock::now();  // nashlb-analyzer: allow(nondeterminism-sources) -- fixture: trace-only
+}
+
+long stamp_wrapped() {
+  // Block-form waiver covering a statement wrapped across lines.
+  // nashlb-analyzer: allow(nondeterminism-sources) -- fixture: trace-only
+  long wall =
+      std::chrono::steady_clock::now();
+  return wall;
+}

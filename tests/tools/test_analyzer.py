@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Golden-finding tests for tools/nashlb_analyzer.py (ctest:
+analyzer_fixtures).
+
+Three layers, mirroring how lint_nashlb.py is pinned:
+
+  1. the analyzer's own selftest (every rule must fire and must not
+     fire on its synthetic snippets);
+  2. fixture goldens: each fixtures/*.cpp|hpp is analyzed under a
+     virtual src/ path and its findings must match fixtures/*.expected
+     byte-for-byte — exact rule, file, and line (the waiver fixtures pin
+     the round-trip: reasoned waivers silence findings, a reasonless
+     waiver is itself a finding);
+  3. the clean-tree test: the analyzer over the real tree must report
+     zero findings (exit 0 under the clang engine, 77 under the partial
+     token engine — anything else fails).
+
+Exit: 0 all green, 1 any mismatch.
+"""
+
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(os.path.dirname(HERE))
+ANALYZER = os.path.join(ROOT, "tools", "nashlb_analyzer.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+
+# fixture file -> (virtual path, expected exit code)
+CASES = {
+    "hot_alloc_bad.cpp": ("src/core/hot_alloc_bad.cpp", 1),
+    "unordered_accum_bad.cpp": ("src/core/unordered_accum_bad.cpp", 1),
+    "nondet_bad.cpp": ("src/core/nondet_bad.cpp", 1),
+    "contract_bad.hpp": ("src/core/contract_bad.hpp", 1),
+    "merge_bad.hpp": ("src/obs/merge_bad.hpp", 1),
+    "waiver_roundtrip.cpp": ("src/core/waiver_roundtrip.cpp", 0),
+    "waiver_missing_reason.cpp": ("src/core/waiver_missing_reason.cpp", 1),
+}
+
+
+def run(args):
+    return subprocess.run([sys.executable, ANALYZER] + args,
+                          capture_output=True, text=True)
+
+
+def main():
+    failures = []
+
+    proc = run(["--selftest-only"])
+    if proc.returncode != 0:
+        failures.append("selftest failed:\n%s%s" % (proc.stdout, proc.stderr))
+
+    for name in sorted(CASES):
+        virtual, want_exit = CASES[name]
+        fixture = os.path.join(FIXTURES, name)
+        expected_path = os.path.join(
+            FIXTURES, os.path.splitext(name)[0] + ".expected")
+        with open(expected_path, encoding="utf-8") as f:
+            expected = f.read()
+        proc = run(["--no-selftest", "--check-file",
+                    "%s:%s" % (fixture, virtual)])
+        if proc.returncode != want_exit:
+            failures.append("%s: exit %d, expected %d\n%s%s"
+                            % (name, proc.returncode, want_exit,
+                               proc.stdout, proc.stderr))
+        if proc.stdout != expected:
+            failures.append(
+                "%s: findings drifted from the golden file.\n"
+                "--- expected (%s)\n%s--- got\n%s"
+                % (name, os.path.basename(expected_path), expected,
+                   proc.stdout))
+
+    proc = run([ROOT])
+    if proc.returncode not in (0, 77):
+        failures.append("clean-tree run reported findings (exit %d):\n%s%s"
+                        % (proc.returncode, proc.stdout, proc.stderr))
+
+    if failures:
+        for f in failures:
+            print("test_analyzer: FAIL: %s" % f, file=sys.stderr)
+        print("test_analyzer: %d failure(s)" % len(failures),
+              file=sys.stderr)
+        return 1
+    print("test_analyzer: OK — selftest, %d fixture goldens, clean tree"
+          % len(CASES))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

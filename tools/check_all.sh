@@ -1,84 +1,103 @@
 #!/bin/sh
-# Run every quality gate in sequence — the local equivalent of a full CI
-# pass (docs/STATIC_ANALYSIS.md documents each gate). Order is cheapest
-# first so a drift failure surfaces in seconds, not after two builds:
+# Run every quality gate — the local equivalent of a full CI pass
+# (docs/STATIC_ANALYSIS.md documents each gate). Order is cheapest first
+# so a drift failure surfaces in seconds, not after two builds:
 #
-#   1. check_docs      README/docs drift                      (~0 s)
-#   2. lint_nashlb     repo-specific rules (python3)          (~0 s)
-#   3. check_bench     BENCH_*.json perf baselines  (SKIP if absent)
-#   4. check_format    clang-format check-only      (SKIP if absent)
-#   5. -Werror build   full tree, warnings as errors (build-werror/)
-#   6. check_tidy      clang-tidy over that tree    (SKIP if absent)
-#   7. contract build  -DNASHLB_CHECK=ON + full ctest (build-check/)
-#   8. check_sanitize  ASan+UBSan with contracts on   (build-asan/)
-#   9. check_tsan      ThreadSanitizer over the parallel layer
-#                      (build-tsan/)     (SKIP if TSan unsupported)
+#    1. check_docs          README/docs drift                      (~0 s)
+#    2. lint_nashlb         repo-specific rules (python3)          (~0 s)
+#    3. check_analyzer      nashlb-analyzer semantic rules
+#                           (SKIP=partial: token engine only, no libclang)
+#    4. check_bench         BENCH_*.json perf baselines  (SKIP if absent)
+#    5. check_format        clang-format check-only      (SKIP if absent)
+#    6. werror_build        full tree, warnings as errors (build-werror/)
+#    7. check_tidy          clang-tidy over that tree    (SKIP if absent)
+#    8. check_gcc_analyzer  GCC -fanalyzer over src/core + src/util
+#                           (SKIP if -fanalyzer unsupported; ~1 min)
+#    9. contract_suite      -DNASHLB_CHECK=ON + full ctest (build-check/)
+#   10. check_sanitize      ASan+UBSan with contracts on   (build-asan/)
+#   11. check_tsan          ThreadSanitizer, parallel layer
+#                           (build-tsan/)     (SKIP if TSan unsupported)
 #
-# Tool-gated steps (3, 4, 6, 9) are skipped, not failed, on machines
-# without the tools or baselines — same convention as their ctest
-# registrations.
+# Unlike a plain `set -e` chain, every step runs even after a failure —
+# one broken gate must not hide the state of the other ten. The summary
+# table at the end shows PASS/FAIL/SKIP and wall-clock per step; the
+# script exits non-zero iff at least one non-SKIP step failed. A step
+# exiting 77 is a SKIP (tool or baseline unavailable), matching the
+# ctest SKIP_RETURN_CODE convention of the individual gates.
 #
 # Usage: tools/check_all.sh [repo-root]   (default: script's parent dir)
-set -eu
+set -u
 
 root=${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}
 jobs=$(nproc 2> /dev/null || echo 4)
-skipped=""
 
-step() {
-    printf '\n== check_all: %s ==\n' "$1"
-}
+summary=""
+failed=0
 
-# Exit-77 wrapper: runs a gate whose script may SKIP itself.
-run_skippable() {
-    name=$1
+# run_step <name> <cmd...>: runs one gate, records PASS/FAIL/SKIP and
+# elapsed wall-clock into the summary table. Exit 77 -> SKIP; any other
+# nonzero -> FAIL (the script keeps going).
+run_step() {
+    step_name=$1
     shift
-    if "$@"; then
-        return 0
-    elif [ "$?" -eq 77 ]; then
-        skipped="$skipped $name"
-        return 0
+    printf '\n== check_all: %s ==\n' "$step_name"
+    step_start=$(date +%s)
+    "$@"
+    step_rc=$?
+    step_secs=$(( $(date +%s) - step_start ))
+    if [ "$step_rc" -eq 0 ]; then
+        step_verdict=PASS
+    elif [ "$step_rc" -eq 77 ]; then
+        step_verdict=SKIP
     else
-        echo "check_all: FAIL in $name" >&2
-        exit 1
+        step_verdict=FAIL
+        failed=1
+        echo "check_all: FAIL in $step_name (continuing)" >&2
     fi
+    summary="$summary$(printf '%-19s %-4s %6ss' \
+        "$step_name" "$step_verdict" "$step_secs")
+"
 }
 
-step "check_docs (README/docs drift)"
-"$root/tools/check_docs.sh" "$root"
+# Multi-command steps, wrapped so run_step can time and triage them.
+werror_build() {
+    cmake -B "$root/build-werror" -S "$root" -DNASHLB_WERROR=ON &&
+    cmake --build "$root/build-werror" -j "$jobs"
+}
 
-step "lint_nashlb (repo-specific rules)"
-python3 "$root/tools/lint_nashlb.py" "$root"
+contract_suite() {
+    cmake -B "$root/build-check" -S "$root" \
+      -DNASHLB_CHECK=ON -DNASHLB_WERROR=ON \
+      -DNASHLB_BUILD_BENCH=OFF -DNASHLB_BUILD_EXAMPLES=OFF &&
+    cmake --build "$root/build-check" -j "$jobs" &&
+    # (subshell cd, not `ctest --test-dir`: that flag needs CMake >= 3.20
+    # and the project supports 3.16)
+    (cd "$root/build-check" && ctest --output-on-failure -j "$jobs")
+}
 
-step "check_bench (perf baselines vs committed BENCH_*.json)"
-run_skippable check_bench python3 "$root/tools/check_bench.py" "$root"
+all_start=$(date +%s)
 
-step "check_format (clang-format, check-only)"
-run_skippable check_format "$root/tools/check_format.sh" "$root"
+run_step check_docs "$root/tools/check_docs.sh" "$root"
+run_step lint_nashlb python3 "$root/tools/lint_nashlb.py" "$root"
+run_step check_analyzer python3 "$root/tools/nashlb_analyzer.py" "$root"
+run_step check_bench python3 "$root/tools/check_bench.py" "$root"
+run_step check_format "$root/tools/check_format.sh" "$root"
+run_step werror_build werror_build
+run_step check_tidy "$root/tools/check_tidy.sh" "$root" "$root/build-werror"
+run_step check_gcc_analyzer "$root/tools/check_gcc_analyzer.sh" "$root"
+run_step contract_suite contract_suite
+run_step check_sanitize "$root/tools/check_sanitize.sh" "$root"
+run_step check_tsan "$root/tools/check_tsan.sh" "$root"
 
-step "warnings-as-errors build (build-werror/)"
-cmake -B "$root/build-werror" -S "$root" -DNASHLB_WERROR=ON
-cmake --build "$root/build-werror" -j "$jobs"
+total_secs=$(( $(date +%s) - all_start ))
+printf '\n== check_all: summary ==\n'
+printf '%-19s %-4s %7s\n' step verdict elapsed
+printf '%s' "$summary"
+printf '%-19s %-4s %6ss\n' total '' "$total_secs"
 
-step "check_tidy (clang-tidy over build-werror/)"
-run_skippable check_tidy \
-    "$root/tools/check_tidy.sh" "$root" "$root/build-werror"
-
-step "contract build + full suite (-DNASHLB_CHECK=ON, build-check/)"
-cmake -B "$root/build-check" -S "$root" \
-  -DNASHLB_CHECK=ON -DNASHLB_WERROR=ON \
-  -DNASHLB_BUILD_BENCH=OFF -DNASHLB_BUILD_EXAMPLES=OFF
-cmake --build "$root/build-check" -j "$jobs"
-# (subshell cd, not `ctest --test-dir`: that flag needs CMake >= 3.20
-# and the project supports 3.16)
-(cd "$root/build-check" && ctest --output-on-failure -j "$jobs")
-
-step "check_sanitize (ASan+UBSan, contracts on)"
-"$root/tools/check_sanitize.sh" "$root"
-
-step "check_tsan (ThreadSanitizer, parallel layer)"
-run_skippable check_tsan "$root/tools/check_tsan.sh" "$root"
-
-printf '\ncheck_all: OK'
-[ -z "$skipped" ] || printf ' (skipped:%s — tool or baseline unavailable)' "$skipped"
-printf '\n'
+if [ "$failed" -ne 0 ]; then
+    echo "check_all: FAIL (one or more non-SKIP steps failed; see table)" >&2
+    exit 1
+fi
+echo "check_all: OK (SKIP rows, if any, mean tool or baseline unavailable)"
+exit 0

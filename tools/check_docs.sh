@@ -49,6 +49,16 @@ for section in "## Histograms" "## Span tracing" "## Sharded registries"; do
     fi
 done
 
+# The static-analysis doc must describe every gate check_all runs; the
+# analyzer sections guard against the doc silently lagging the tools.
+for section in "## Semantic analysis (\`nashlb-analyzer\`)" \
+               "## GCC -fanalyzer gate"; do
+    if [ -f "$root/docs/STATIC_ANALYSIS.md" ] && \
+       ! grep -qF "$section" "$root/docs/STATIC_ANALYSIS.md"; then
+        fail "docs/STATIC_ANALYSIS.md is missing its \"$section\" section"
+    fi
+done
+
 # The scaling doc must keep the sections the class-aggregation layer
 # and its certificate are specified by.
 for section in "## Class construction" "## The symmetric within-class reply" \

@@ -31,9 +31,23 @@ if [ -z "$tidy" ]; then
     exit 77
 fi
 
+# The DB is exported by every configure (CMAKE_EXPORT_COMPILE_COMMANDS is
+# set unconditionally in the top-level CMakeLists.txt); if the requested
+# build dir has not been configured yet, fall back to any sibling tree
+# that has, so the gate binds to real compile flags instead of guessing.
 if [ ! -f "$build/compile_commands.json" ]; then
-    echo "check_tidy: FAIL: $build/compile_commands.json not found;" \
-         "configure with cmake -B $build -S $root first" >&2
+    for cand in "$root/build" "$root/build-check" "$root"/build*; do
+        if [ -f "$cand/compile_commands.json" ]; then
+            echo "check_tidy: note: using compile DB from $cand" \
+                 "($build is not configured)"
+            build=$cand
+            break
+        fi
+    done
+fi
+if [ ! -f "$build/compile_commands.json" ]; then
+    echo "check_tidy: FAIL: no compile_commands.json under $build (or any" \
+         "build*/ sibling); configure with cmake -B $build -S $root first" >&2
     exit 1
 fi
 

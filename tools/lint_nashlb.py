@@ -45,7 +45,14 @@ on (see docs/STATIC_ANALYSIS.md):
       makes parallel results bitwise thread-count-independent (static
       chunk assignment, ordered reductions, one RNG stream per work
       item); a stray std::thread bypasses every one of those guarantees
-      and TSan can't tell you determinism broke.
+      and TSan can't tell you determinism broke. The synchronization
+      primitives (`std::mutex`, `std::condition_variable[_any]`,
+      `std::atomic*`) are additionally banned outside src/util/parallel.*
+      and src/obs/ — solver code holding its own lock or atomic means
+      shared mutable state the pool's static chunking was supposed to
+      make impossible, and ad-hoc atomics reintroduce reduction orders
+      that vary with thread interleaving. (src/obs/ is exempt: thread-
+      safe instrumentation shards may need atomics by design.)
 
 Suppression: append `// nashlb-lint: allow(<rule>)` (with a reason) on
 the offending line or the line above it.
@@ -340,18 +347,38 @@ def check_histogram_bounds(root, relpath, text, lines):
 
 RAW_CONCURRENCY_RE = re.compile(
     r"\bstd::(?:jthread|thread|async)\b|#\s*pragma\s+omp\b")
+# Synchronization primitives: banned outside parallel.* AND src/obs/
+# (instrumentation shards may legitimately be atomic; solver code may
+# not hold its own locks or atomics).
+RAW_SYNC_RE = re.compile(
+    r"\bstd::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|condition_variable(?:_any)?|"
+    r"atomic(?:_\w+)?)\b")
 PARALLEL_FILES = (
     os.path.join("src", "util", "parallel.hpp"),
     os.path.join("src", "util", "parallel.cpp"),
 )
+OBS_DIR = os.path.join("src", "obs") + os.sep
 
 
 def check_raw_concurrency(root, relpath, lines):
     if relpath in PARALLEL_FILES:
         return  # the pool's own implementation
+    sync_exempt = relpath.startswith(OBS_DIR)
     code = [strip_comments_and_strings(l) for l in lines]
     for idx, line in enumerate(code):
         m = RAW_CONCURRENCY_RE.search(line)
+        if m is None and not sync_exempt:
+            m = RAW_SYNC_RE.search(line)
+            if m:
+                if suppressed(lines, idx, "raw-concurrency"):
+                    continue
+                report(relpath, idx + 1, "raw-concurrency",
+                       "%s outside src/util/parallel.* and src/obs/: "
+                       "solver code must not own locks or atomics — "
+                       "shared state goes through util::ThreadPool's "
+                       "deterministic chunking" % m.group(0))
+                continue
         if not m:
             continue
         if suppressed(lines, idx, "raw-concurrency"):
@@ -383,6 +410,37 @@ def selftest():
         if hit != expect:
             return ("raw-concurrency selftest: %r should %shave matched"
                     % (line, "" if expect else "not "))
+    sync_cases = [
+        (True, "  std::mutex state_lock_;"),
+        (True, "  std::shared_mutex registry_lock_;"),
+        (True, "  std::condition_variable ready_;"),
+        (True, "  std::condition_variable_any cv_;"),
+        (True, "  std::atomic<int> counter{0};"),
+        (True, "  std::atomic_flag busy_ = ATOMIC_FLAG_INIT;"),
+        (False, "  double total = 0.0;  // no primitive here"),
+        (False, "  // std::mutex named only in a comment"),
+        (False, '  trace.record({"std::atomic<int>", cells});'),
+        (False, "  util::ThreadPool pool(threads);"),
+    ]
+    for expect, line in sync_cases:
+        hit = RAW_SYNC_RE.search(
+            strip_comments_and_strings(line)) is not None
+        if hit != expect:
+            return ("raw-concurrency selftest (sync tier): %r should "
+                    "%shave matched" % (line, "" if expect else "not "))
+    obs_lines = ["  std::atomic<long> count_{0};"]
+    probe_errors_before = len(errors)
+    check_raw_concurrency("", os.path.join("src", "obs", "probe.hpp"),
+                          obs_lines)
+    if len(errors) != probe_errors_before:
+        del errors[probe_errors_before:]
+        return ("raw-concurrency selftest: src/obs/ atomic wrongly "
+                "flagged (obs is sync-exempt)")
+    check_raw_concurrency("", os.path.join("src", "core", "probe.hpp"),
+                          obs_lines)
+    if len(errors) == probe_errors_before:
+        return ("raw-concurrency selftest: src/core/ atomic not flagged")
+    del errors[probe_errors_before:]
     suppressed_line = ["  std::thread t;  // nashlb-lint: allow(raw-concurrency)"]
     if not suppressed(suppressed_line, 0, "raw-concurrency"):
         return "raw-concurrency selftest: suppression comment not honored"

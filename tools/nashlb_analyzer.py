@@ -1,0 +1,1586 @@
+#!/usr/bin/env python3
+"""Semantic analyzer for the nashlb tree — the checks lint_nashlb.py cannot
+express with regexes, grounded in program structure.
+
+Registered as the `check_analyzer` ctest and a tools/check_all.sh step.
+Five rules, each protecting a guarantee the scaling layers rest on
+(docs/STATIC_ANALYSIS.md, "Semantic analysis"):
+
+  hot-path-alloc
+      No allocation in the designated hot set: every `*_into` definition
+      tree-wide plus the steady-state helpers of core/dynamics.cpp,
+      core/load_state.cpp, core/user_classes.cpp and
+      distributed/ring_protocol.cpp (HOT_FILE_FUNCS below). Flags
+      new-expressions, construction of allocating containers
+      (vector/string/function/map/...), push_back/emplace_back on
+      un-reserve()d receivers, and make_unique/make_shared/to_string.
+      Allocations on throw paths are exempt — error exits are cold by
+      definition. The `_into` layer's whole contract is that a
+      steady-state best-reply round performs zero heap allocations; a
+      copy constructor the regex lint cannot see breaks it silently.
+
+  unordered-float-accum
+      No floating-point accumulation into a loop-invariant target inside
+      a range-for over std::unordered_map/std::unordered_set. Hash
+      iteration order is implementation- and seed-dependent, and float
+      addition does not commute in rounding, so such a loop silently
+      breaks the bitwise thread-count/run-to-run determinism story
+      (PR 6). Accumulating into a per-key slot (target names the loop
+      variable) is order-independent and allowed.
+
+  nondeterminism-sources
+      No std::random_device, rand()/srand(), time()/clock(), or
+      std::chrono::*_clock::now() in src/core, src/des or
+      src/distributed. All randomness goes through the seeded
+      stats:: RNG seams and all timing through the obs layer; a raw
+      clock read in solver code either steers the iteration (silently
+      schedule-dependent results) or belongs in obs. Wall-clock reads
+      that only feed a trace column carry a reasoned waiver.
+
+  contract-coverage
+      Every public function in src/core (declared in a core header)
+      that takes a profile/fractions/loads parameter must state a
+      NASHLB_EXPECT/ENSURE/INVARIANT itself or transitively call into a
+      function that does. Coverage is reported as a percentage in
+      bench_results/analysis_report.json and gated against the
+      committed report (check_bench-style: working tree vs
+      `git show HEAD:`) — a refactor that drops a precondition from a
+      core API fails the gate even though every test still passes.
+
+  noexcept-merge
+      The obs shard-reduction paths and the ThreadPool chunk runner
+      must not let exceptions escape past the documented capture point:
+      (a) src/util/parallel.cpp must keep a catch-all handler that
+      stores std::current_exception() around the chunk-functor
+      invocation (the capture point of PR 6's deterministic error
+      propagation); (b) every merge() defined in src/obs must contain
+      no throw-expression, and the per-instrument merges (non-Registry)
+      must be declared noexcept — a throwing merge inside a worker
+      would std::terminate instead of surfacing as the lowest-chunk
+      rethrow.
+
+Engines. The precise engine parses the real clang AST via clang.cindex
+against the build's compile_commands.json (CMAKE_EXPORT_COMPILE_COMMANDS
+is always on). Machines without libclang fall back to a token-level
+structural engine — a real C++ tokenizer with scope tracking, not
+regexes — that runs every rule in a documented partial mode (it cannot
+see through typedefs or overload resolution). contract-coverage always
+runs on the token index in both modes: contracts are preprocessor
+macros, a lexical fact the post-expansion AST does not retain under the
+default NASHLB_CHECK=OFF flags.
+
+Exit codes follow check_tidy's convention: 0 clean under the full clang
+engine, 1 findings or selftest failure under either engine, 77 when
+only the partial token engine could run and it found nothing (ctest
+SKIP via SKIP_RETURN_CODE — the partial pass is evidence, not proof).
+
+Suppression: `// nashlb-analyzer: allow(<rule>) -- <reason>` on the
+offending line or the line above. The reason text is mandatory —
+a bare allow() is itself reported (waiver-missing-reason). Waivers that
+match nothing are ignored, not errors: the two engines see different
+supersets of findings.
+
+Every invocation first runs a built-in selftest: each rule is compiled
+against synthetic must-trigger and must-not-trigger snippets (the same
+philosophy as lint_nashlb.py), under every engine available.
+
+Usage:
+  tools/nashlb_analyzer.py [repo-root [build-dir]] [--engine auto|tokens|clang]
+      full run: selftest, tree scan, contract-coverage gate against the
+      committed bench_results/analysis_report.json.
+  tools/nashlb_analyzer.py --write-report [repo-root [build-dir]]
+      also rewrite bench_results/analysis_report.json from this run.
+  tools/nashlb_analyzer.py --check-file REAL.cpp:virtual/path.cpp ...
+      fixture mode: analyze the named files as if they lived at the
+      given repo-relative paths; print findings, skip report/gate
+      (tests/tools/test_analyzer.py drives this).
+  tools/nashlb_analyzer.py --selftest-only
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+
+SKIP = 77
+
+RULES = (
+    "hot-path-alloc",
+    "unordered-float-accum",
+    "nondeterminism-sources",
+    "contract-coverage",
+    "noexcept-merge",
+)
+
+# ---------------------------------------------------------------------------
+# Rule configuration
+# ---------------------------------------------------------------------------
+
+# The designated hot set beyond `*_into` definitions: per-move steady-state
+# functions whose zero-allocation property the O(m*n) round complexity
+# (docs/PERFORMANCE.md) depends on. Setup/teardown functions in the same
+# files (run(), best_reply_dynamics(), run_ring_protocol(), ...) allocate
+# once per solve by design and are deliberately not listed.
+HOT_FILE_FUNCS = {
+    "src/core/dynamics.cpp": {"replies_computable"},
+    "src/core/load_state.cpp": {"commit_row", "available_rates",
+                                "user_response_time"},
+    "src/core/user_classes.cpp": set(),  # class_reply_into via *_into
+    "src/distributed/ring_protocol.cpp": {"update_user"},
+}
+
+# Types whose construction allocates (or may allocate) on the heap.
+ALLOC_TYPE_NAMES = {
+    "vector", "string", "basic_string", "function", "map", "set",
+    "multimap", "multiset", "unordered_map", "unordered_set", "deque",
+    "list", "forward_list", "ostringstream", "istringstream",
+    "stringstream", "shared_ptr",
+}
+ALLOC_CALL_NAMES = {"make_unique", "make_shared", "to_string"}
+
+# Directories rule 3 polices (src-relative path prefixes).
+NONDET_DIRS = ("src/core", "src/des", "src/distributed")
+NONDET_FREE_FUNCS = {"rand", "srand", "time", "clock"}
+
+CONTRACT_MACROS = {"NASHLB_EXPECT", "NASHLB_ENSURE", "NASHLB_INVARIANT"}
+# A core API is audited for contract coverage when a parameter is one of
+# the model types, or a double span/vector whose name says it carries
+# profile fractions or computer loads/rates.
+AUDIT_PARAM_TYPE_RE = re.compile(
+    r"\b(StrategyProfile|LoadState|UserClassPartition)\b")
+AUDIT_PARAM_NAMES = {
+    "loads", "lambda", "fractions", "fraction", "reply", "avail",
+    "available_rates", "rates", "capacities", "row", "new_row", "phi",
+}
+CONTRACT_CALL_DEPTH = 6
+
+PARALLEL_CPP = "src/util/parallel.cpp"
+OBS_DIR = "src/obs"
+
+WAIVER_RE = re.compile(
+    r"nashlb-analyzer:\s*allow\(([\w-]+)\)\s*(?:--|:)?\s*(\S.*)?")
+
+CPP_KEYWORDS = {
+    "alignas", "alignof", "and", "asm", "auto", "bool", "break", "case",
+    "catch", "char", "class", "co_await", "co_return", "co_yield", "concept",
+    "const", "consteval", "constexpr", "constinit", "const_cast", "continue",
+    "decltype", "default", "delete", "do", "double", "dynamic_cast", "else",
+    "enum", "explicit", "export", "extern", "false", "float", "for", "friend",
+    "goto", "if", "inline", "int", "long", "mutable", "namespace", "new",
+    "noexcept", "not", "nullptr", "operator", "or", "private", "protected",
+    "public", "register", "reinterpret_cast", "requires", "return", "short",
+    "signed", "sizeof", "static", "static_assert", "static_cast", "struct",
+    "switch", "template", "this", "thread_local", "throw", "true", "try",
+    "typedef", "typeid", "typename", "union", "unsigned", "using", "virtual",
+    "void", "volatile", "while", "final", "override",
+}
+
+# ---------------------------------------------------------------------------
+# Findings and waivers
+# ---------------------------------------------------------------------------
+
+
+class Finding:
+    __slots__ = ("path", "line", "rule", "message")
+
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def key(self):
+        return (self.path, self.line, self.rule)
+
+    def __str__(self):
+        return "%s:%d: [%s] %s" % (self.path, self.line, self.rule,
+                                   self.message)
+
+
+class Waivers:
+    """Per-file waiver table, read from the raw source lines (waivers are
+    comments — a lexical fact both engines share).
+
+    A trailing waiver covers its own line. A waiver on its own comment
+    line covers the rest of its comment block and the one statement
+    below it (continuation lines included, until a line ends in `;`,
+    `{` or `}`) — so multi-line reasons and wrapped statements work."""
+
+    def __init__(self, lines):
+        self.by_line = {}   # 1-based waiver line -> (rule, reason or None)
+        self.covered = {}   # 1-based line -> set of waived rules
+        pending = set()
+        in_statement = False
+        for idx, line in enumerate(lines):
+            lineno = idx + 1
+            stripped = line.strip()
+            m = WAIVER_RE.search(line)
+            if m:
+                self.by_line[lineno] = (m.group(1), m.group(2))
+                self.covered.setdefault(lineno, set()).add(m.group(1))
+                if stripped.startswith("//"):
+                    pending.add(m.group(1))
+                    in_statement = False
+                continue
+            if not stripped:
+                pending.clear()
+                in_statement = False
+                continue
+            if stripped.startswith("//"):
+                continue  # reason continuation — keep the block pending
+            if pending:
+                self.covered.setdefault(lineno, set()).update(pending)
+                if stripped.endswith((";", "{", "}")):
+                    pending.clear()
+                else:
+                    in_statement = True
+            elif in_statement:
+                self.covered.setdefault(lineno, set()).update(
+                    self.covered.get(lineno - 1, set()))
+                if stripped.endswith((";", "{", "}")):
+                    in_statement = False
+
+    def covers(self, line, rule):
+        return rule in self.covered.get(line, ())
+
+    def missing_reasons(self, path):
+        out = []
+        for line in sorted(self.by_line):
+            rule, reason = self.by_line[line]
+            if not reason:
+                out.append(Finding(
+                    path, line, "waiver-missing-reason",
+                    "allow(%s) without a reason; write `-- <why>` after "
+                    "the waiver" % rule))
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Tokenizer (the structural engine's front end)
+# ---------------------------------------------------------------------------
+
+TOKEN_RE = re.compile(
+    r"""(?P<ws>\s+)
+      | (?P<comment>//[^\n]*|/\*.*?\*/)
+      | (?P<rawstr>R"(?P<delim>[^ ()\\\t\n]*)\(.*?\)(?P=delim)")
+      | (?P<str>"(?:[^"\\\n]|\\.)*")
+      | (?P<chr>'(?:[^'\\\n]|\\.)*')
+      | (?P<num>\.?\d(?:[\w.']|[eEpP][+-])*)
+      | (?P<id>[A-Za-z_]\w*)
+      | (?P<punct>::|->\*?|\+\+|--|<<=|>>=|<=>|[-+*/%&|^!=<>]=|&&|\|\||\.\.\.|.)
+    """, re.VERBOSE | re.DOTALL)
+
+
+class Tok:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind, text, line):
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+    def __repr__(self):
+        return "%s(%r)@%d" % (self.kind, self.text, self.line)
+
+
+def strip_preprocessor(text):
+    """Blanks preprocessor directive lines (keeping the code inside
+    conditional blocks — contracts live under #if NASHLB_CHECK_ENABLED)."""
+    out = []
+    continuation = False
+    for line in text.split("\n"):
+        directive = continuation or line.lstrip().startswith("#")
+        continuation = directive and line.rstrip().endswith("\\")
+        out.append("" if directive else line)
+    return "\n".join(out)
+
+
+def tokenize(text):
+    toks = []
+    line = 1
+    for m in TOKEN_RE.finditer(strip_preprocessor(text)):
+        kind = m.lastgroup if m.lastgroup != "delim" else "rawstr"
+        piece = m.group(0)
+        if kind not in ("ws", "comment"):
+            toks.append(Tok(kind, piece, line))
+        line += piece.count("\n")
+    return toks
+
+
+def match_paren(toks, i, open_ch="(", close_ch=")"):
+    """toks[i] must be `open_ch`; returns the index of its match, or None."""
+    depth = 0
+    for j in range(i, len(toks)):
+        if toks[j].text == open_ch:
+            depth += 1
+        elif toks[j].text == close_ch:
+            depth -= 1
+            if depth == 0:
+                return j
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Structural index: function definitions/declarations per file
+# ---------------------------------------------------------------------------
+
+
+class FunctionInfo:
+    __slots__ = ("name", "qual", "path", "line", "params", "is_definition",
+                 "noexcept_", "body", "calls", "has_contract", "throw_lines",
+                 "access")
+
+    def __init__(self, name, qual, path, line, params, is_definition,
+                 noexcept_, body, access="public"):
+        self.name = name
+        self.qual = qual
+        self.path = path
+        self.line = line
+        self.access = access
+        self.params = params          # token list between ( )
+        self.is_definition = is_definition
+        self.noexcept_ = noexcept_
+        self.body = body              # token list between { } (or [])
+        self.calls = set()
+        self.has_contract = False
+        self.throw_lines = []
+        for idx, t in enumerate(body):
+            if (t.kind == "id" and t.text not in CPP_KEYWORDS
+                    and idx + 1 < len(body) and body[idx + 1].text == "("):
+                self.calls.add(t.text)
+                if t.text in CONTRACT_MACROS:
+                    self.has_contract = True
+            elif t.text == "throw":
+                self.throw_lines.append(t.line)
+
+    def param_text(self):
+        return " ".join(t.text for t in self.params)
+
+
+def _collect_name(toks, i):
+    """Walks `A :: B :: name` backwards from the id at `i`; returns
+    (qualified-name-string, leftmost-index)."""
+    parts = [toks[i].text]
+    k = i
+    while k >= 2 and toks[k - 1].text == "::" and toks[k - 2].kind == "id":
+        parts[:0] = [toks[k - 2].text, "::"]
+        k -= 2
+    if k >= 1 and toks[k - 1].text == "~":
+        parts[:0] = ["~"]
+        k -= 1
+    return "".join(parts), k
+
+
+def index_file(path, toks):
+    """One linear scan: namespace/class scope tracking at type scope,
+    function signature parsing, body slicing. Function bodies are sliced
+    wholesale (local classes/lambdas stay inside their owner's body)."""
+    funcs = []
+    scopes = []  # [kind 'ns'|'class'|'brace', name, access]
+    i = 0
+    n = len(toks)
+    while i < n:
+        t = toks[i]
+        if (t.text in ("public", "private", "protected") and i + 1 < n
+                and toks[i + 1].text == ":" and scopes
+                and scopes[-1][0] == "class"):
+            scopes[-1][2] = t.text
+            i += 2
+            continue
+        if t.text == "namespace":
+            j = i + 1
+            name = None
+            while j < n and (toks[j].kind == "id" or toks[j].text == "::"):
+                if toks[j].kind == "id" and name is None:
+                    name = toks[j].text
+                j += 1
+            if j < n and toks[j].text == "{":
+                scopes.append(["ns", name or "<anon>", "public"])
+                i = j + 1
+                continue
+            i = j
+            continue
+        if t.text in ("class", "struct") and (i == 0 or
+                                              toks[i - 1].text != "enum"):
+            name = None
+            j = i + 1
+            while j < n and toks[j].text not in ("{", ";", "("):
+                if toks[j].kind == "id" and name is None and \
+                        toks[j].text not in ("alignas", "final"):
+                    name = toks[j].text
+                j += 1
+            if j < n and toks[j].text == "{":
+                scopes.append(["class", name or "<anon>",
+                               "public" if t.text == "struct" else "private"])
+                i = j + 1
+                continue
+            i = j
+            continue
+        if t.text == "{":
+            scopes.append(["brace", None, "public"])
+            i += 1
+            continue
+        if t.text == "}":
+            if scopes:
+                scopes.pop()
+            i += 1
+            continue
+        if (t.kind == "id" and t.text not in CPP_KEYWORDS
+                and i + 1 < n and toks[i + 1].text == "("):
+            parsed = _parse_function(toks, i, scopes, path, funcs)
+            if parsed is not None:
+                i = parsed
+                continue
+        i += 1
+    return funcs
+
+
+def _parse_function(toks, i, scopes, path, funcs):
+    """Tries to parse a function declaration/definition whose name is the
+    id at `i`. On success appends a FunctionInfo and returns the token
+    index to resume at; returns None when this is not a function."""
+    n = len(toks)
+    name, _left = _collect_name(toks, i)
+    close = match_paren(toks, i + 1)
+    if close is None:
+        return None
+    # Scan between the parameter list and the body/semicolon. A ':'
+    # introduces a ctor init list, in which a '{' attached to an
+    # identifier or '>' is a brace-init, not the body.
+    j = close + 1
+    init_list = False
+    noexcept_ = False
+    budget = 400
+    while j < n and budget:
+        budget -= 1
+        tt = toks[j].text
+        if tt == ";":
+            _record(funcs, toks, i, name, scopes, path, close, False,
+                    noexcept_, [])
+            return j + 1
+        if tt == "=":
+            # `= default;` / `= delete;` / pure virtual: declaration-like.
+            while j < n and toks[j].text != ";":
+                j += 1
+            _record(funcs, toks, i, name, scopes, path, close, False,
+                    noexcept_, [])
+            return j + 1
+        if tt == "{":
+            prev = toks[j - 1].text
+            if init_list and (toks[j - 1].kind == "id" or prev == ">"):
+                end = match_paren(toks, j, "{", "}")
+                if end is None:
+                    return None
+                j = end + 1
+                continue
+            end = match_paren(toks, j, "{", "}")
+            if end is None:
+                return None
+            _record(funcs, toks, i, name, scopes, path, close, True,
+                    noexcept_, toks[j + 1:end])
+            return end + 1
+        if tt == "noexcept":
+            noexcept_ = True
+        elif tt == ":":
+            init_list = True
+        elif tt == "(":
+            skip = match_paren(toks, j)
+            if skip is None:
+                return None
+            j = skip
+        elif tt in (")", "}", "]"):
+            return None
+        j += 1
+    return None
+
+
+def _record(funcs, toks, i, name, scopes, path, close, is_def, noexcept_,
+            body):
+    qual = name
+    access = "public"
+    for kind, scope_name, scope_access in reversed(scopes):
+        if kind == "class":
+            if "::" not in name:
+                qual = "%s::%s" % (scope_name, name)
+            access = scope_access
+            break
+    simple = name.rsplit("::", 1)[-1]
+    funcs.append(FunctionInfo(simple, qual, path, toks[i].line,
+                              toks[i + 2:close], is_def, noexcept_, body,
+                              access))
+
+
+# ---------------------------------------------------------------------------
+# Token engine rules
+# ---------------------------------------------------------------------------
+
+
+def _skip_throw_ranges(body):
+    """Indices of body tokens that sit on a throw path (throw ... ;) —
+    allocation there is cold by definition."""
+    skip = set()
+    i = 0
+    while i < len(body):
+        if body[i].text == "throw":
+            j = i
+            while j < len(body) and body[j].text != ";":
+                skip.add(j)
+                j += 1
+            i = j
+        i += 1
+    return skip
+
+
+def is_hot(func, path):
+    if func.is_definition and func.name.endswith("_into"):
+        return True
+    return func.name in HOT_FILE_FUNCS.get(path, ())
+
+
+def rule_hot_path_alloc(path, funcs, waivers, out):
+    for fn in funcs:
+        if not fn.is_definition or not is_hot(fn, path):
+            continue
+        body = fn.body
+        cold = _skip_throw_ranges(body)
+        reserved = set()
+        for idx in range(len(body) - 3):
+            if (body[idx].kind == "id" and body[idx + 1].text == "."
+                    and body[idx + 2].text == "reserve"
+                    and body[idx + 3].text == "("):
+                reserved.add(body[idx].text)
+        for idx, t in enumerate(body):
+            if idx in cold:
+                continue
+            line = t.line
+            if t.text == "new" and (idx == 0 or
+                                    body[idx - 1].text != "operator"):
+                _emit(out, waivers, path, line, "hot-path-alloc",
+                      "new-expression in hot function %s(); hot paths are "
+                      "allocation-free by contract" % fn.name)
+            elif (t.kind == "id" and t.text in ALLOC_CALL_NAMES
+                  and idx + 1 < len(body) and body[idx + 1].text == "("):
+                _emit(out, waivers, path, line, "hot-path-alloc",
+                      "%s() allocates in hot function %s()" %
+                      (t.text, fn.name))
+            elif (t.kind == "id" and t.text in ("push_back", "emplace_back")
+                  and idx + 1 < len(body) and body[idx + 1].text == "("
+                  and idx >= 2 and body[idx - 1].text in (".", "->")):
+                base = body[idx - 2].text
+                if base not in reserved:
+                    _emit(out, waivers, path, line, "hot-path-alloc",
+                          "%s.%s() in hot function %s() without a prior "
+                          "%s.reserve()" % (base, t.text, fn.name, base))
+            elif (t.text == "std" and idx + 2 < len(body)
+                  and body[idx + 1].text == "::"
+                  and body[idx + 2].text in ALLOC_TYPE_NAMES):
+                # Reference/pointer bindings and nested-name uses
+                # (std::vector<T>&, std::vector<T>::iterator) do not
+                # allocate — only value declarations and temporaries do.
+                after = idx + 3
+                if after < len(body) and body[after].text == "<":
+                    close_angle = _match_angle(body, after)
+                    if close_angle is not None:
+                        after = close_angle + 1
+                while after < len(body) and body[after].text == "const":
+                    after += 1
+                if after < len(body) and body[after].text in ("&", "*",
+                                                              "::"):
+                    continue
+                _emit(out, waivers, path, line, "hot-path-alloc",
+                      "allocating type std::%s constructed/named in hot "
+                      "function %s()" % (body[idx + 2].text, fn.name))
+
+
+def _unordered_vars(toks):
+    """Names declared in this file with an unordered_{map,set} type."""
+    names = set()
+    for i, t in enumerate(toks):
+        if t.kind == "id" and t.text.startswith("unordered_"):
+            j = i + 1
+            if j < len(toks) and toks[j].text == "<":
+                j = _match_angle(toks, j)
+                if j is None:
+                    continue
+                j += 1
+            while j < len(toks) and toks[j].text in ("&", "*", "const"):
+                j += 1
+            if j < len(toks) and toks[j].kind == "id":
+                names.add(toks[j].text)
+    return names
+
+
+def _match_angle(toks, i):
+    depth = 0
+    for j in range(i, len(toks)):
+        if toks[j].text == "<":
+            depth += 1
+        elif toks[j].text == ">":
+            depth -= 1
+            if depth == 0:
+                return j
+        elif toks[j].text in (";", "{"):
+            return None
+    return None
+
+
+def rule_unordered_float_accum(path, toks, waivers, out):
+    unordered = _unordered_vars(toks)
+    i = 0
+    n = len(toks)
+    while i < n:
+        if toks[i].text != "for" or i + 1 >= n or toks[i + 1].text != "(":
+            i += 1
+            continue
+        close = match_paren(toks, i + 1)
+        if close is None:
+            i += 1
+            continue
+        head = toks[i + 2:close]
+        split = _range_for_split(head)
+        if split is None:
+            i = close + 1
+            continue
+        loop_vars, range_toks = split
+        range_ids = {t.text for t in range_toks if t.kind == "id"}
+        if not (range_ids & unordered
+                or any(x.startswith("unordered_") for x in range_ids)):
+            i = close + 1
+            continue
+        body_end = close
+        if close + 1 < n and toks[close + 1].text == "{":
+            body_end = match_paren(toks, close + 1, "{", "}") or close
+            body = toks[close + 2:body_end]
+        else:
+            body_end = close + 1
+            while body_end < n and toks[body_end].text != ";":
+                body_end += 1
+            body = toks[close + 1:body_end]
+        stmt_start = 0
+        for idx, t in enumerate(body):
+            if t.text in (";", "{", "}"):
+                stmt_start = idx + 1
+            elif t.text in ("+=", "-=", "*=", "/="):
+                lhs_ids = {x.text for x in body[stmt_start:idx]
+                           if x.kind == "id"}
+                if not (lhs_ids & loop_vars):
+                    _emit(out, waivers, path, t.line,
+                          "unordered-float-accum",
+                          "accumulation `%s` into a loop-invariant target "
+                          "inside a range-for over an unordered container: "
+                          "hash order is nondeterministic and float folds "
+                          "do not commute" % t.text)
+        i = body_end + 1
+
+
+def _range_for_split(head):
+    """Splits range-for head tokens at the top-level ':'; returns
+    (loop-var names, range tokens) or None for a classic for."""
+    depth = 0
+    for idx, t in enumerate(head):
+        if t.text in ("(", "[", "{"):
+            depth += 1
+        elif t.text in (")", "]", "}"):
+            depth -= 1
+        elif t.text == ";" and depth == 0:
+            return None
+        elif t.text == ":" and depth == 0:
+            decl = head[:idx]
+            loop_vars = set()
+            if any(t2.text == "[" for t2 in decl):
+                grab = False
+                for t2 in decl:
+                    if t2.text == "[":
+                        grab = True
+                    elif t2.text == "]":
+                        grab = False
+                    elif grab and t2.kind == "id":
+                        loop_vars.add(t2.text)
+            else:
+                ids = [t2.text for t2 in decl if t2.kind == "id"
+                       and t2.text not in CPP_KEYWORDS]
+                if ids:
+                    loop_vars.add(ids[-1])
+            return loop_vars, head[idx + 1:]
+    return None
+
+
+# Tokens that can directly precede a *call* to a free function; an
+# identifier/type keyword before the name means a declaration instead
+# (`extern "C" int rand();`), which is not a use.
+_STMT_PREV = {"return", "co_return", "case", "else", "do", "throw",
+              "co_await", "co_yield", "and", "or", "not"}
+
+
+def _is_decl_context(toks, i):
+    if i == 0:
+        return False
+    prev = toks[i - 1]
+    return prev.kind == "id" and prev.text not in _STMT_PREV
+
+
+def rule_nondeterminism(path, toks, waivers, out):
+    if not path.startswith(NONDET_DIRS):
+        return
+    n = len(toks)
+    for i, t in enumerate(toks):
+        if t.kind != "id":
+            continue
+        if (t.text == "random_device" and i >= 2
+                and toks[i - 1].text == "::" and toks[i - 2].text == "std"):
+            _emit(out, waivers, path, t.line, "nondeterminism-sources",
+                  "std::random_device: all randomness must flow through "
+                  "the seeded stats:: RNG seams")
+        elif (t.text in NONDET_FREE_FUNCS
+              and i + 1 < n and toks[i + 1].text == "("
+              and not _is_decl_context(toks, i)
+              and (i == 0 or toks[i - 1].text not in (".", "->"))
+              and not (i >= 2 and toks[i - 1].text == "::"
+                       and toks[i - 2].text != "std")):
+            _emit(out, waivers, path, t.line, "nondeterminism-sources",
+                  "%s(): wall-clock/CRT randomness in solver code" % t.text)
+        elif (t.text == "now" and i >= 2 and toks[i - 1].text == "::"
+              and toks[i - 2].kind == "id"
+              and toks[i - 2].text.endswith("_clock")):
+            _emit(out, waivers, path, t.line, "nondeterminism-sources",
+                  "std::chrono::%s::now(): raw clock read in solver code; "
+                  "route timing through obs or waive with a reason"
+                  % toks[i - 2].text)
+
+
+def rule_noexcept_merge(path, toks, funcs, waivers, out):
+    if path == PARALLEL_CPP:
+        captured = False
+        for i, t in enumerate(toks):
+            if t.text == "catch" and i + 3 < len(toks) \
+                    and toks[i + 1].text == "(" \
+                    and toks[i + 2].text == "..." \
+                    and toks[i + 3].text == ")":
+                close = match_paren(toks, i + 4, "{", "}") \
+                    if toks[i + 4].text == "{" else None
+                handler = toks[i + 5:close] if close else []
+                if any(h.text == "current_exception" for h in handler):
+                    captured = True
+        if not captured:
+            _emit(out, waivers, path, 1, "noexcept-merge",
+                  "ThreadPool chunk runner lost its catch(...) handler "
+                  "storing std::current_exception() — the documented "
+                  "capture point for deterministic error propagation")
+        return
+    if not path.startswith(OBS_DIR + "/"):
+        return
+    for fn in funcs:
+        if fn.name != "merge" or not fn.is_definition:
+            continue
+        for line in fn.throw_lines:
+            _emit(out, waivers, path, line, "noexcept-merge",
+                  "throw-expression inside %s(): shard merges must not "
+                  "throw past the pool's capture point" % fn.qual)
+        if "Registry" not in fn.qual and not fn.noexcept_:
+            _emit(out, waivers, path, fn.line, "noexcept-merge",
+                  "per-instrument %s() is not declared noexcept; a "
+                  "throwing instrument merge inside a worker would "
+                  "std::terminate" % fn.qual)
+
+
+# ---------------------------------------------------------------------------
+# Contract coverage (token index, both engines)
+# ---------------------------------------------------------------------------
+
+
+def audited_param_match(fn):
+    params = fn.params
+    if not params:
+        return False
+    # Split at top-level commas.
+    groups = [[]]
+    depth = 0
+    for t in params:
+        if t.text in ("(", "<", "[", "{"):
+            depth += 1
+        elif t.text in (")", ">", "]", "}"):
+            depth -= 1
+        elif t.text == "," and depth == 0:
+            groups.append([])
+            continue
+        groups[-1].append(t)
+    for g in groups:
+        text = " ".join(t.text for t in g)
+        if AUDIT_PARAM_TYPE_RE.search(text):
+            return True
+        ids = [t.text for t in g if t.kind == "id"]
+        if ("double" in text and ("span" in ids or "vector" in ids)
+                and ids and ids[-1] in AUDIT_PARAM_NAMES):
+            return True
+    return False
+
+
+def compute_contract_coverage(index, waiver_map):
+    """index: {path: [FunctionInfo]}. Returns (entries, findings) where
+    entries is the sorted audited set with coverage flags."""
+    defs_by_name = {}
+    for funcs in index.values():
+        for fn in funcs:
+            if fn.is_definition:
+                defs_by_name.setdefault(fn.name, []).append(fn)
+
+    def covered(fn):
+        seen = set()
+        frontier = [fn]
+        for _ in range(CONTRACT_CALL_DEPTH):
+            nxt = []
+            for f in frontier:
+                if f.has_contract:
+                    return True
+                for callee in sorted(f.calls):
+                    if callee in seen:
+                        continue
+                    seen.add(callee)
+                    nxt.extend(defs_by_name.get(callee, ()))
+            if not nxt:
+                return False
+            frontier = nxt
+        return any(f.has_contract for f in frontier)
+
+    audited = {}  # qual -> (decl FunctionInfo)
+    for path, funcs in sorted(index.items()):
+        if not (path.startswith("src/core/") and path.endswith(".hpp")):
+            continue
+        for fn in funcs:
+            if fn.name.startswith("~") or fn.name == "operator":
+                continue
+            if fn.access != "public":
+                continue  # "public core API" means exactly that
+            if audited_param_match(fn):
+                audited.setdefault(fn.qual, fn)
+
+    entries = []
+    findings = []
+    for qual in sorted(audited):
+        decl = audited[qual]
+        defs = [d for d in defs_by_name.get(qual.rsplit("::", 1)[-1], ())
+                if d.qual == qual or "::" not in qual]
+        if not defs:  # defaulted / generated: nothing to audit
+            continue
+        is_covered = any(covered(d) for d in defs)
+        waivers = waiver_map.get(decl.path)
+        waived = bool(waivers and waivers.covers(decl.line,
+                                                 "contract-coverage"))
+        if not waived:
+            for d in defs:
+                dw = waiver_map.get(d.path)
+                if dw and dw.covers(d.line, "contract-coverage"):
+                    waived = True
+                    break
+        entries.append({"function": qual, "file": decl.path,
+                        "line": decl.line, "covered": is_covered,
+                        "waived": waived})
+        if not is_covered and not waived:
+            findings.append(Finding(
+                decl.path, decl.line, "contract-coverage",
+                "public core API %s() takes a profile/fractions/loads "
+                "parameter but neither it nor its callees state a "
+                "NASHLB_EXPECT/ENSURE/INVARIANT" % qual))
+    return entries, findings
+
+
+# ---------------------------------------------------------------------------
+# Engine drivers
+# ---------------------------------------------------------------------------
+
+
+def _emit(out, waivers, path, line, rule, message):
+    if waivers is not None and waivers.covers(line, rule):
+        return
+    out.append(Finding(path, line, rule, message))
+
+
+class TokenEngine:
+    """The dependency-free engine: every rule in partial mode plus the
+    exact contract-coverage index."""
+
+    name = "tokens"
+
+    def analyze(self, files):
+        """files: [(relpath, text)]. Returns (findings, coverage_entries)."""
+        findings = []
+        index = {}
+        waiver_map = {}
+        for path, text in files:
+            lines = text.split("\n")
+            waivers = Waivers(lines)
+            waiver_map[path] = waivers
+            findings.extend(waivers.missing_reasons(path))
+            toks = tokenize(text)
+            funcs = index_file(path, toks)
+            index[path] = funcs
+            rule_hot_path_alloc(path, funcs, waivers, findings)
+            rule_unordered_float_accum(path, toks, waivers, findings)
+            rule_nondeterminism(path, toks, waivers, findings)
+            rule_noexcept_merge(path, toks, funcs, waivers, findings)
+        entries, cov_findings = compute_contract_coverage(index, waiver_map)
+        findings.extend(cov_findings)
+        return findings, entries
+
+
+class ClangEngine:
+    """The precise engine over the real clang AST. Shares the waiver
+    layer and the contract-coverage token index with TokenEngine (macros
+    and comments are lexical facts); rules 1/2/3/5 run on cursors."""
+
+    name = "clang"
+
+    def __init__(self, cindex, compile_db):
+        self.ci = cindex
+        self.compile_db = compile_db  # {abs source path: [args]}
+        self.index = cindex.Index.create()
+
+    # -- public API ---------------------------------------------------------
+
+    def analyze(self, files):
+        token_engine = TokenEngine()
+        findings = []
+        index = {}
+        waiver_map = {}
+        for path, text in files:
+            lines = text.split("\n")
+            waivers = Waivers(lines)
+            waiver_map[path] = waivers
+            findings.extend(waivers.missing_reasons(path))
+            index[path] = index_file(path, tokenize(text))
+        entries, cov_findings = compute_contract_coverage(index, waiver_map)
+        findings.extend(cov_findings)
+        seen_headers = set()
+        for path, _text in files:
+            if not path.endswith(".cpp"):
+                continue
+            try:
+                tu = self._parse(path)
+            except Exception as exc:  # noqa: BLE001 — surface, don't crash
+                findings.append(Finding(path, 1, "parse-error",
+                                        "clang failed to parse: %s" % exc))
+                continue
+            findings.extend(self._walk_tu(tu, path, waiver_map,
+                                          seen_headers))
+        del token_engine
+        return findings, entries
+
+    # -- internals ----------------------------------------------------------
+
+    def _parse(self, relpath):
+        for abspath, args in self.compile_db.items():
+            if abspath.endswith(os.sep + relpath) or abspath == relpath:
+                # Contracts must be visible to the AST even though the
+                # exported flags build with NASHLB_CHECK=OFF.
+                return self.index.parse(
+                    abspath, args=args + ["-DNASHLB_CHECK_ENABLED=1"])
+        raise RuntimeError("%s not in compile_commands.json" % relpath)
+
+    def _walk_tu(self, tu, main_rel, waiver_map, seen_headers):
+        ci = self.ci
+        findings = []
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+        def rel_of(cursor):
+            loc = cursor.location
+            if loc.file is None:
+                return None
+            path = os.path.abspath(loc.file.name)
+            if not path.startswith(root + os.sep):
+                return None
+            return os.path.relpath(path, root).replace(os.sep, "/")
+
+        def waivers_for(rel):
+            return waiver_map.get(rel)
+
+        fn_kinds = {ci.CursorKind.FUNCTION_DECL, ci.CursorKind.CXX_METHOD,
+                    ci.CursorKind.CONSTRUCTOR, ci.CursorKind.FUNCTION_TEMPLATE}
+
+        def visit(cursor):
+            rel = rel_of(cursor)
+            if cursor.kind in fn_kinds and cursor.is_definition() \
+                    and rel is not None:
+                if rel != main_rel and rel in seen_headers:
+                    return  # each header function reported once
+                self._check_function(cursor, rel, waivers_for(rel), findings)
+            for child in cursor.get_children():
+                crel = rel_of(child)
+                if crel is None and child.location.file is not None:
+                    continue  # system headers
+                visit(child)
+
+        visit(tu.cursor)
+        for rel in {rel_of(c) for c in tu.cursor.get_children()
+                    if rel_of(c) is not None}:
+            if rel != main_rel:
+                seen_headers.add(rel)
+        return findings
+
+    def _check_function(self, cursor, rel, waivers, findings):
+        ci = self.ci
+        name = cursor.spelling
+        hot = name.endswith("_into") or \
+            name in HOT_FILE_FUNCS.get(rel, ())
+
+        def flag(node, rule, message):
+            line = node.location.line if node.location else 1
+            _emit(findings, waivers, rel, line, rule, message)
+
+        def in_throw(stack):
+            return any(k == ci.CursorKind.CXX_THROW_EXPR for k in stack)
+
+        reserved = set()
+        if hot:
+            for node in cursor.walk_preorder():
+                if node.kind == ci.CursorKind.CALL_EXPR and \
+                        node.spelling == "reserve":
+                    kids = list(node.get_children())
+                    if kids:
+                        base = list(kids[0].walk_preorder())
+                        for b in base:
+                            if b.kind == ci.CursorKind.DECL_REF_EXPR:
+                                reserved.add(b.spelling)
+
+        range_float_targets = []
+
+        def walk(node, stack):
+            kind = node.kind
+            if hot and not in_throw(stack):
+                if kind == ci.CursorKind.CXX_NEW_EXPR:
+                    flag(node, "hot-path-alloc",
+                         "new-expression in hot function %s()" % name)
+                elif kind == ci.CursorKind.CALL_EXPR:
+                    callee = node.referenced
+                    cname = node.spelling
+                    if cname in ALLOC_CALL_NAMES:
+                        flag(node, "hot-path-alloc",
+                             "%s() allocates in hot function %s()"
+                             % (cname, name))
+                    elif cname in ("push_back", "emplace_back"):
+                        kids = list(node.get_children())
+                        base_names = set()
+                        if kids:
+                            for b in kids[0].walk_preorder():
+                                if b.kind == ci.CursorKind.DECL_REF_EXPR:
+                                    base_names.add(b.spelling)
+                        if not (base_names & reserved):
+                            flag(node, "hot-path-alloc",
+                                 "%s() in hot function %s() without a "
+                                 "prior reserve()" % (cname, name))
+                    elif callee is not None and \
+                            callee.kind == ci.CursorKind.CONSTRUCTOR:
+                        parent = callee.semantic_parent
+                        if parent is not None and \
+                                parent.spelling in ALLOC_TYPE_NAMES:
+                            flag(node, "hot-path-alloc",
+                                 "std::%s constructed in hot function "
+                                 "%s()" % (parent.spelling, name))
+            if kind == ci.CursorKind.CXX_FOR_RANGE_STMT:
+                kids = list(node.get_children())
+                if len(kids) >= 2:
+                    range_expr = kids[-2]
+                    type_spelling = range_expr.type.spelling
+                    if "unordered_map" in type_spelling or \
+                            "unordered_set" in type_spelling:
+                        loop_var = kids[0].spelling
+                        for sub in kids[-1].walk_preorder():
+                            if sub.kind == \
+                                    ci.CursorKind.COMPOUND_ASSIGNMENT_OPERATOR:
+                                subkids = list(sub.get_children())
+                                if not subkids:
+                                    continue
+                                lhs = subkids[0]
+                                if lhs.type.spelling not in ("float",
+                                                             "double",
+                                                             "long double"):
+                                    continue
+                                refs = {r.spelling for r in
+                                        lhs.walk_preorder()
+                                        if r.kind ==
+                                        ci.CursorKind.DECL_REF_EXPR}
+                                if loop_var not in refs:
+                                    range_float_targets.append(sub)
+            if rel.startswith(NONDET_DIRS):
+                if kind in (ci.CursorKind.DECL_REF_EXPR,
+                            ci.CursorKind.TYPE_REF) and \
+                        node.spelling in ("random_device",):
+                    flag(node, "nondeterminism-sources",
+                         "std::random_device in solver code")
+                elif kind == ci.CursorKind.CALL_EXPR:
+                    cname = node.spelling
+                    ref = node.referenced
+                    parent = ref.semantic_parent if ref is not None else None
+                    pspell = parent.spelling if parent is not None else ""
+                    if cname in NONDET_FREE_FUNCS and pspell in ("", "std"):
+                        flag(node, "nondeterminism-sources",
+                             "%s(): wall-clock/CRT randomness in solver "
+                             "code" % cname)
+                    elif cname == "now" and pspell.endswith("_clock"):
+                        flag(node, "nondeterminism-sources",
+                             "std::chrono::%s::now() in solver code"
+                             % pspell)
+            for child in node.get_children():
+                walk(child, stack + [kind])
+
+        walk(cursor, [])
+        for node in range_float_targets:
+            flag(node, "unordered-float-accum",
+                 "float accumulation into a loop-invariant target inside "
+                 "a range-for over an unordered container")
+        if rel.startswith(OBS_DIR + "/") and name == "merge":
+            for node in cursor.walk_preorder():
+                if node.kind == ci.CursorKind.CXX_THROW_EXPR:
+                    flag(node, "noexcept-merge",
+                         "throw-expression inside %s()" % name)
+            parent = cursor.semantic_parent
+            pname = parent.spelling if parent is not None else ""
+            if "Registry" not in pname and \
+                    cursor.exception_specification_kind not in (
+                        ci.ExceptionSpecificationKind.BASIC_NOEXCEPT,
+                        ci.ExceptionSpecificationKind.COMPUTED_NOEXCEPT):
+                flag(cursor, "noexcept-merge",
+                     "per-instrument %s::merge() is not noexcept"
+                     % pname)
+        if rel == PARALLEL_CPP and name == "run_chunks":
+            has_capture = False
+            for node in cursor.walk_preorder():
+                if node.kind == ci.CursorKind.CXX_CATCH_STMT:
+                    kids = list(node.get_children())
+                    decls = [k for k in kids
+                             if k.kind == ci.CursorKind.VAR_DECL]
+                    body = kids[-1] if kids else None
+                    if not decls and body is not None:
+                        for sub in body.walk_preorder():
+                            if sub.spelling == "current_exception":
+                                has_capture = True
+            if not has_capture:
+                flag(cursor, "noexcept-merge",
+                     "run_chunks() lost its catch(...)/current_exception "
+                     "capture point")
+
+
+def load_clang_engine(build_dir):
+    """Returns a ClangEngine, or None (with a reason) when libclang or the
+    compilation database is unavailable."""
+    try:
+        import clang.cindex as cindex  # noqa: PLC0415 — optional dep
+    except ImportError:
+        return None, "python clang bindings (clang.cindex) not installed"
+    try:
+        cindex.Index.create()
+    except Exception:  # noqa: BLE001
+        found = False
+        for cand in ("libclang.so", "libclang.so.1", "libclang-18.so",
+                     "libclang-17.so", "libclang-16.so", "libclang-15.so",
+                     "libclang-14.so"):
+            try:
+                cindex.Config.loaded = False
+                cindex.Config.set_library_file(cand)
+                cindex.Index.create()
+                found = True
+                break
+            except Exception:  # noqa: BLE001
+                continue
+        if not found:
+            return None, "libclang shared library not found"
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(db_path):
+        return None, "%s not found (configure with cmake first)" % db_path
+    with open(db_path, encoding="utf-8") as f:
+        raw = json.load(f)
+    db = {}
+    for entry in raw:
+        args = entry.get("arguments")
+        if args is None:
+            args = entry.get("command", "").split()
+        cleaned = []
+        skip_next = False
+        for a in args[1:]:
+            if skip_next:
+                skip_next = False
+                continue
+            if a in ("-c", entry["file"]):
+                continue
+            if a == "-o":
+                skip_next = True
+                continue
+            cleaned.append(a)
+        path = entry["file"]
+        if not os.path.isabs(path):
+            path = os.path.normpath(os.path.join(entry["directory"], path))
+        db[path] = cleaned
+    return ClangEngine(cindex, db), None
+
+
+# ---------------------------------------------------------------------------
+# Report + coverage gate
+# ---------------------------------------------------------------------------
+
+REPORT_RELPATH = os.path.join("bench_results", "analysis_report.json")
+
+
+def build_report(engine_name, findings, coverage_entries):
+    covered = sum(1 for e in coverage_entries if e["covered"])
+    total = len(coverage_entries)
+    waived_uncovered = sorted(e["function"] for e in coverage_entries
+                              if not e["covered"] and e["waived"])
+    percent = round(100.0 * covered / total, 2) if total else 100.0
+    rule_counts = {rule: 0 for rule in RULES}
+    for f in findings:
+        rule_counts[f.rule] = rule_counts.get(f.rule, 0) + 1
+    return {
+        "schema": 1,
+        "engine": engine_name,
+        "contract_coverage": {
+            "covered": covered,
+            "total": total,
+            "percent": percent,
+            "uncovered": sorted(
+                ({"function": e["function"], "file": e["file"],
+                  "waived": e["waived"]}
+                 for e in coverage_entries if not e["covered"]),
+                key=lambda e: e["function"]),
+            "waived": waived_uncovered,
+        },
+        "rules": rule_counts,
+    }
+
+
+def committed_report(root):
+    try:
+        blob = subprocess.run(
+            ["git", "-C", root, "show",
+             "HEAD:" + REPORT_RELPATH.replace(os.sep, "/")],
+            capture_output=True, text=True, check=True).stdout
+        return json.loads(blob)
+    except (subprocess.CalledProcessError, OSError, ValueError):
+        return None
+
+
+def coverage_gate(root, report):
+    """check_bench-style regression gate: the working tree's contract
+    coverage may not drop below the committed report's (same engine)."""
+    base = committed_report(root)
+    if base is None:
+        print("nashlb_analyzer: no committed %s — coverage gate skipped "
+              "(run --write-report and commit to arm it)" % REPORT_RELPATH)
+        return []
+    if base.get("engine") != report["engine"]:
+        print("nashlb_analyzer: committed report was produced by the %r "
+              "engine, this run used %r — coverage gate skipped"
+              % (base.get("engine"), report["engine"]))
+        return []
+    old = base.get("contract_coverage", {}).get("percent", 0.0)
+    new = report["contract_coverage"]["percent"]
+    if new + 1e-9 < old:
+        return [Finding(
+            REPORT_RELPATH, 1, "contract-coverage",
+            "contract coverage regressed from %.2f%% to %.2f%%: restore "
+            "the dropped NASHLB_EXPECT/ENSURE/INVARIANT (or re-baseline "
+            "with --write-report and justify in the PR)" % (old, new))]
+    return []
+
+
+# ---------------------------------------------------------------------------
+# Selftest
+# ---------------------------------------------------------------------------
+
+SELFTEST_SNIPPETS = [
+    # (rule, virtual path, must_trigger, snippet)
+    ("hot-path-alloc", "src/core/snippet.cpp", True, """
+        namespace std { template <class T> struct vector {
+          void push_back(const T&); void reserve(unsigned long); }; }
+        void reply_into(double* out, int n) {
+          std::vector<double> scratch;
+          for (int i = 0; i < n; ++i) out[i] = 0.0;
+        }
+    """),
+    ("hot-path-alloc", "src/core/snippet.cpp", True, """
+        struct Buf { void push_back(double); };
+        void reply_into(Buf& tmp, int n) {
+          for (int i = 0; i < n; ++i) tmp.push_back(1.0);
+        }
+    """),
+    ("hot-path-alloc", "src/core/snippet.cpp", False, """
+        struct Buf { void push_back(double); void reserve(unsigned long); };
+        void reply_into(Buf& tmp, unsigned long n) {
+          tmp.reserve(n);
+          for (unsigned long i = 0; i < n; ++i) tmp.push_back(1.0);
+        }
+    """),
+    ("hot-path-alloc", "src/core/snippet.cpp", False, """
+        namespace std { template <class T> struct vector {
+          void push_back(const T&); }; }
+        std::vector<double> setup_profile(int n) {
+          std::vector<double> out;
+          for (int i = 0; i < n; ++i) out.push_back(0.0);
+          return out;
+        }
+    """),
+    ("hot-path-alloc", "src/core/snippet.cpp", False, """
+        struct err { err(const char*); };
+        void reply_into(double* out, int n) {
+          if (n < 0) throw err("negative");
+          for (int i = 0; i < n; ++i) out[i] = 0.0;
+        }
+    """),
+    ("hot-path-alloc", "src/core/snippet.cpp", False, """
+        namespace std { template <class T> struct vector { T& back(); }; }
+        struct Ws { std::vector<double> scratch; };
+        void reply_into(Ws& ws, int n) {
+          std::vector<double>& buf = ws.scratch;
+          for (int i = 0; i < n; ++i) buf.back() = 0.0;
+        }
+    """),
+    ("unordered-float-accum", "src/core/snippet.cpp", True, """
+        namespace std { template <class K, class V> struct unordered_map {
+          struct value_type { K first; V second; };
+          value_type* begin(); value_type* end(); }; }
+        double total(std::unordered_map<int, double>& m) {
+          double sum = 0.0;
+          for (auto& kv : m) sum += kv.second;
+          return sum;
+        }
+    """),
+    ("unordered-float-accum", "src/core/snippet.cpp", False, """
+        namespace std { template <class K, class V> struct unordered_map {
+          struct value_type { K first; V second; };
+          value_type* begin(); value_type* end(); };
+          template <class T> struct vector { T* begin(); T* end(); }; }
+        double merge_per_key(std::unordered_map<int, double>& m,
+                             double* slots) {
+          for (auto& kv : m) slots[kv.first] += kv.second;
+          double sum = 0.0;
+          std::vector<double> v;
+          for (double x : v) sum += x;
+          return sum;
+        }
+    """),
+    ("nondeterminism-sources", "src/core/snippet.cpp", True, """
+        namespace std { struct random_device { unsigned operator()(); }; }
+        unsigned seed_badly() { std::random_device rd; return rd(); }
+    """),
+    ("nondeterminism-sources", "src/des/snippet.cpp", True, """
+        namespace std { namespace chrono { struct steady_clock {
+          static int now(); }; } }
+        int stamp() { return std::chrono::steady_clock::now(); }
+    """),
+    ("nondeterminism-sources", "src/core/snippet.cpp", True, """
+        extern "C" int rand();
+        int jitter() { return rand(); }
+    """),
+    ("nondeterminism-sources", "src/core/snippet.cpp", False, """
+        struct Xoshiro256 { unsigned long next(); };
+        unsigned long draw(Xoshiro256& rng) { return rng.next(); }
+        struct Sim { double now() const; };
+        double sim_time(const Sim& sim) { return sim.now(); }
+    """),
+    ("nondeterminism-sources", "src/stats/snippet.cpp", False, """
+        namespace std { struct random_device { unsigned operator()(); }; }
+        unsigned entropy() { std::random_device rd; return rd(); }
+    """),
+    ("nondeterminism-sources", "src/core/snippet.cpp", False, """
+        namespace std { namespace chrono { struct steady_clock {
+          static int now(); }; } }
+        int stamp() {
+          // wall-clock feeds the trace only
+          return std::chrono::steady_clock::now();  // nashlb-analyzer: allow(nondeterminism-sources) -- trace-only wall clock
+        }
+    """),
+    ("contract-coverage", "src/core/snippet.hpp", True, """
+        struct StrategyProfile {};
+        double gap(const StrategyProfile& s, int user) { return 0.0; }
+    """),
+    ("contract-coverage", "src/core/snippet.hpp", False, """
+        struct StrategyProfile {};
+        double gap(const StrategyProfile& s, int user) {
+          NASHLB_EXPECT(user >= 0, "user %d", user);
+          return 0.0;
+        }
+    """),
+    ("contract-coverage", "src/core/snippet.hpp", False, """
+        struct StrategyProfile {};
+        void check_row(int user) { NASHLB_EXPECT(user >= 0, "u %d", user); }
+        double gap(const StrategyProfile& s, int user) {
+          check_row(user);
+          return 0.0;
+        }
+    """),
+    ("contract-coverage", "src/core/snippet.hpp", False, """
+        struct StrategyProfile {};
+        class LoadState {
+         public:
+          void rebuild(const StrategyProfile& s) {
+            NASHLB_EXPECT(true, "reachable");
+          }
+         private:
+          void check_dimensions(const StrategyProfile& s) {}
+        };
+    """),
+    ("noexcept-merge", "src/obs/snippet.hpp", True, """
+        struct Shard {};
+        struct EnabledCounter {
+          void merge(const EnabledCounter&) { value_ += 1; }
+          long value_ = 0;
+        };
+    """),
+    ("noexcept-merge", "src/obs/snippet.hpp", True, """
+        struct bad {};
+        struct EnabledTimer {
+          void merge(const EnabledTimer& o) noexcept(false) {
+            if (o.total_ < 0) throw bad{};
+            total_ += o.total_;
+          }
+          double total_ = 0;
+        };
+    """),
+    ("noexcept-merge", "src/obs/snippet.hpp", False, """
+        struct EnabledCounter {
+          void merge(const EnabledCounter&) noexcept { value_ += 1; }
+          long value_ = 0;
+        };
+        struct EnabledRegistry {
+          void merge(const EnabledRegistry&) {}
+        };
+    """),
+    ("waiver-missing-reason", "src/core/snippet.cpp", True, """
+        namespace std { struct random_device { unsigned operator()(); }; }
+        unsigned seed_badly() {
+          std::random_device rd;  // nashlb-analyzer: allow(nondeterminism-sources)
+          return rd();
+        }
+    """),
+]
+
+
+def run_selftest(engines):
+    """Every snippet must trigger (or not) its rule under every engine.
+    Returns an error string or None."""
+    for engine in engines:
+        for rule, vpath, must_trigger, snippet in SELFTEST_SNIPPETS:
+            if engine.name == "clang" and rule in ("contract-coverage",
+                                                   "waiver-missing-reason"):
+                # lexical rules: identical code path in both engines
+                pass
+            findings, _cov = engine.analyze([(vpath, snippet)])
+            hits = [f for f in findings if f.rule == rule]
+            if must_trigger and not hits:
+                return ("selftest[%s]: rule %s did not fire on its "
+                        "must-trigger snippet:\n%s"
+                        % (engine.name, rule, snippet))
+            if not must_trigger and hits:
+                return ("selftest[%s]: rule %s false-positive on its "
+                        "must-not-trigger snippet (%s):\n%s"
+                        % (engine.name, rule, hits[0], snippet))
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Main
+# ---------------------------------------------------------------------------
+
+
+def collect_tree(root):
+    files = []
+    src = os.path.join(root, "src")
+    for base, _dirs, names in os.walk(src):
+        for name in sorted(names):
+            if name.endswith((".cpp", ".hpp")):
+                path = os.path.join(base, name)
+                rel = os.path.relpath(path, root).replace(os.sep, "/")
+                with open(path, encoding="utf-8") as f:
+                    files.append((rel, f.read()))
+    return sorted(files)
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(add_help=True)
+    ap.add_argument("root", nargs="?", default=None)
+    ap.add_argument("build", nargs="?", default=None)
+    ap.add_argument("--engine", choices=("auto", "tokens", "clang"),
+                    default="auto")
+    ap.add_argument("--write-report", action="store_true")
+    ap.add_argument("--selftest-only", action="store_true")
+    ap.add_argument("--no-selftest", action="store_true")
+    ap.add_argument("--check-file", action="append", default=[],
+                    metavar="REAL:VIRTUAL")
+    args = ap.parse_args(argv)
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    build = args.build or os.path.join(root, "build")
+
+    clang_engine = None
+    clang_reason = "engine forced to tokens"
+    if args.engine in ("auto", "clang"):
+        clang_engine, clang_reason = load_clang_engine(build)
+        if clang_engine is None and args.engine == "clang":
+            print("nashlb_analyzer: FAIL: --engine clang but %s"
+                  % clang_reason, file=sys.stderr)
+            return 1
+    engine = clang_engine or TokenEngine()
+    partial = clang_engine is None
+
+    if not args.no_selftest:
+        engines = [TokenEngine()]
+        if clang_engine is not None:
+            engines.append(clang_engine)
+        err = run_selftest(engines)
+        if err:
+            print("nashlb_analyzer: FAIL: %s" % err, file=sys.stderr)
+            return 1
+        if args.selftest_only:
+            print("nashlb_analyzer: selftest OK (%d snippets, engines: %s)"
+                  % (len(SELFTEST_SNIPPETS),
+                     ", ".join(e.name for e in engines)))
+            return 0
+
+    if args.check_file:
+        files = []
+        for spec in args.check_file:
+            real, _sep, virtual = spec.partition(":")
+            with open(real, encoding="utf-8") as f:
+                files.append((virtual or real, f.read()))
+        findings, _cov = engine.analyze(files)
+        for f in sorted(findings, key=Finding.key):
+            print(f)
+        return 1 if findings else 0
+
+    files = collect_tree(root)
+    findings, coverage_entries = engine.analyze(files)
+    report = build_report(engine.name, findings, coverage_entries)
+    findings.extend(coverage_gate(root, report))
+
+    if args.write_report:
+        path = os.path.join(root, REPORT_RELPATH)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print("nashlb_analyzer: wrote %s (engine=%s, coverage %.2f%%)"
+              % (REPORT_RELPATH, engine.name,
+                 report["contract_coverage"]["percent"]))
+
+    if findings:
+        for f in sorted(findings, key=Finding.key):
+            print("nashlb_analyzer: FAIL: %s" % f, file=sys.stderr)
+        print("nashlb_analyzer: %d finding(s) [engine=%s]"
+              % (len(findings), engine.name), file=sys.stderr)
+        return 1
+
+    cov = report["contract_coverage"]
+    print("nashlb_analyzer: OK — %d files, 5 rules, contract coverage "
+          "%d/%d (%.2f%%) [engine=%s]"
+          % (len(files), cov["covered"], cov["total"], cov["percent"],
+             engine.name))
+    if partial:
+        print("nashlb_analyzer: SKIP: %s — token engine ran all rules in "
+              "partial mode, clang AST pass unavailable" % clang_reason)
+        return SKIP
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
