@@ -203,6 +203,10 @@ void write_json(const std::vector<Row>& rows, unsigned hardware_threads) {
     return;
   }
   std::fprintf(f, "{\n  \"bench\": \"parallel\",\n");
+  obs::RunManifest manifest = bench::run_manifest("P3");
+  manifest.set("utilization", kUtilization);
+  manifest.set("hardware_threads", static_cast<std::int64_t>(hardware_threads));
+  std::fprintf(f, "  \"manifest\": %s,\n", manifest.to_json().c_str());
   std::fprintf(f,
                "  \"description\": \"pooled Jacobi rounds and DES "
                "replication fan-out vs the serial path; max_profile_diff "

@@ -78,6 +78,11 @@ int main() {
   bench::banner("P1", "performance baseline profile",
                 "Table 1 system, 10 users, utilization 60%; all registered "
                 "schemes");
+  // Re-stamp the banner's sidecar with this run's parameters.
+  obs::RunManifest manifest = bench::run_manifest("P1");
+  manifest.set("utilization", kUtilization);
+  manifest.set("solve_repeats", static_cast<std::int64_t>(kSolveRepeats));
+  bench::write_manifest(manifest, "P1");
 
   const core::Instance inst = workload::table1_instance(kUtilization);
 

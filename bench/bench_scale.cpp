@@ -341,6 +341,10 @@ void write_json(const std::vector<SizeResult>& rows,
     return;
   }
   std::fprintf(f, "{\n  \"bench\": \"scale\",\n");
+  obs::RunManifest manifest = bench::run_manifest("P2");
+  manifest.set("utilization", kUtilization);
+  manifest.set("tolerance_per_ten_users", kTolerancePerTenUsers);
+  std::fprintf(f, "  \"manifest\": %s,\n", manifest.to_json().c_str());
   std::fprintf(f,
                "  \"description\": \"per-round wall time of one full "
                "best-reply round: recompute-from-scratch (seed) vs "

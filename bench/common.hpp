@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/manifest.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
@@ -13,6 +14,18 @@ namespace nashlb::bench {
 /// Prints the standard experiment banner: id, paper artifact, setup.
 void banner(const std::string& id, const std::string& title,
             const std::string& setup);
+
+/// The bench's provenance record: obs::RunManifest::collect() plus a
+/// "bench" extra naming the experiment. Benches add their run
+/// parameters (seeds, instance shape) with set() before stamping.
+obs::RunManifest run_manifest(const std::string& id);
+
+/// Writes `manifest` to bench_results/manifest_<id>.json (creating the
+/// directory if needed; warning on stderr instead of a throw, like
+/// csv()) and echoes the config hash to stdout — every bench stamps its
+/// output files' provenance this way, and JSON writers additionally
+/// embed manifest.to_json() as a top-level "manifest" object.
+void write_manifest(const obs::RunManifest& manifest, const std::string& id);
 
 /// Opens bench_results/<name>.csv (creating the directory if needed) and
 /// returns the writer; returns nullptr (with a warning on stderr) if the

@@ -5,12 +5,14 @@
 #include <limits>
 #include <memory>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
 
 #include "core/best_reply.hpp"
 #include "core/cost.hpp"
 #include "core/equilibrium.hpp"
 #include "core/load_state.hpp"
+#include "core/potential.hpp"
 #include "core/user_classes.hpp"
 #include "stats/rng.hpp"
 #include "util/contracts.hpp"
@@ -21,6 +23,76 @@ namespace nashlb::core {
 std::vector<std::string> dynamics_trace_columns() {
   return {"iteration",    "norm",    "best_reply_gap", "max_kkt_residual",
           "min_cut",      "max_cut", "wall_seconds"};
+}
+
+ConvergenceProbeDriver::ConvergenceProbeDriver(obs::ConvergenceProbe& probe,
+                                               const Instance& inst,
+                                               const StrategyProfile& start)
+    : probe_(&probe) {
+  NASHLB_EXPECT(start.num_users() == inst.num_users() &&
+                    start.num_computers() == inst.num_computers(),
+                "probe driver start profile is %zux%zu, instance %zux%zu",
+                start.num_users(), start.num_computers(), inst.num_users(),
+                inst.num_computers());
+  const std::size_t m = start.num_users();
+  const std::size_t n = inst.num_computers();
+  prev_support_.assign(m * n, 0);
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      prev_support_[j * n + i] = start.at(j, i) > 0.0 ? 1 : 0;
+    }
+  }
+}
+
+void ConvergenceProbeDriver::record_round(const Instance& inst,
+                                          const StrategyProfile& s,
+                                          std::span<const double> loads,
+                                          std::size_t round, double norm,
+                                          bool certificates) {
+  NASHLB_EXPECT(loads.size() == inst.num_computers() &&
+                    prev_support_.size() ==
+                        s.num_users() * s.num_computers(),
+                "probe round %zu: %zu loads / %zux%zu profile against the "
+                "driver's %zu support bits",
+                round, loads.size(), s.num_users(), s.num_computers(),
+                prev_support_.size());
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  double gap = kNaN;
+  if (certificates) {
+    try {
+      gap = max_best_reply_gain(inst, s, loads);
+    } catch (const std::exception&) {
+      // infeasible intermediate profile (Jacobi divergence): leave NaN
+    }
+  }
+  double potential = kNaN;
+  try {
+    potential = beckmann_potential(loads, inst.mu);
+  } catch (const std::exception&) {
+    // an overloaded computer has no potential value: leave NaN
+  }
+  const double overall = overall_response_time_from_loads(loads, inst.mu);
+  const std::size_t m = s.num_users();
+  const std::size_t n = s.num_computers();
+  std::int64_t churn = 0;
+  for (std::size_t j = 0; j < m; ++j) {
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const char on = s.at(j, i) > 0.0 ? 1 : 0;
+      if (on != prev_support_[j * n + i]) changed = true;
+      prev_support_[j * n + i] = on;
+    }
+    if (changed) ++churn;
+  }
+  double min_util = std::numeric_limits<double>::infinity();
+  double max_util = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double util = loads[i] / inst.mu[i];
+    min_util = std::min(min_util, util);
+    max_util = std::max(max_util, util);
+  }
+  probe_->record_round(static_cast<std::int64_t>(round), norm, gap, potential,
+                       overall, churn, max_util - min_util);
 }
 
 namespace {
@@ -131,6 +203,22 @@ DynamicsResult run(const Instance& inst, StrategyProfile profile,
   stats::Xoshiro256 order_rng(options.order_seed);
   std::vector<std::size_t> order(m);
   std::iota(order.begin(), order.end(), std::size_t{0});
+
+  // Convergence telemetry and the event journal ride the same per-round
+  // sites as the trace; both are nullptr-gated and compiled out with the
+  // obs layer (kEnabled is constexpr false under -DNASHLB_OBS=OFF).
+  std::optional<ConvergenceProbeDriver> probe_driver;
+  if (obs::kEnabled && options.probe != nullptr) {
+    probe_driver.emplace(*options.probe, inst, result.profile);
+  }
+  obs::EventId round_event{};
+  obs::EventId stop_event{};
+  if (obs::kEnabled && options.journal != nullptr) {
+    round_event =
+        options.journal->register_event("dynamics.round", {"round", "norm"});
+    stop_event = options.journal->register_event(
+        "dynamics.stop", {"round", "norm", "converged", "diverged"});
+  }
 
   // The incremental core: the aggregate loads ride along with the profile
   // and every per-move quantity (available rates, D_j) derives from them
@@ -284,6 +372,17 @@ DynamicsResult run(const Instance& inst, StrategyProfile profile,
                        certificates_due(options, round), round, norm,
                        wall_seconds());
         }
+        if (probe_driver) {
+          probe_driver->record_round(inst, result.profile, state.loads(),
+                                     round, norm,
+                                     certificates_due(options, round));
+        }
+        if (obs::kEnabled && options.journal) {
+          options.journal->emit(round_event,
+                                {static_cast<double>(round), norm});
+          options.journal->emit(stop_event, {static_cast<double>(round), norm,
+                                             0.0, 1.0});
+        }
         if (obs::kEnabled && options.spans) options.spans->end(round_span);
         return result;
       }
@@ -312,12 +411,26 @@ DynamicsResult run(const Instance& inst, StrategyProfile profile,
                    certificates_due(options, round), round, norm,
                    wall_seconds());
     }
+    if (probe_driver) {
+      probe_driver->record_round(inst, result.profile, state.loads(), round,
+                                 norm, certificates_due(options, round));
+    }
+    if (obs::kEnabled && options.journal) {
+      options.journal->emit(round_event, {static_cast<double>(round), norm});
+    }
     if (obs::kEnabled && options.spans) options.spans->end(round_span);
     if (observer) observer(round, result.profile, norm);
     if (norm <= options.tolerance) {
       result.converged = true;
       break;
     }
+  }
+  if (obs::kEnabled && options.journal) {
+    options.journal->emit(
+        stop_event,
+        {static_cast<double>(result.iterations),
+         result.norm_history.empty() ? 0.0 : result.norm_history.back(),
+         result.converged ? 1.0 : 0.0, 0.0});
   }
 
   // A converged profile must be feasible in the paper's sense — every

@@ -22,10 +22,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/types.hpp"
+#include "obs/convergence.hpp"
+#include "obs/journal.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
 
@@ -110,6 +113,20 @@ struct DynamicsOptions {
   /// partition the run is bitwise identical to the per-user solver. See
   /// docs/SCALING.md.
   const UserClassPartition* classes = nullptr;
+  /// Optional convergence probe (not owned, may be null): one row per
+  /// round under the `convergence_trace_columns()` schema — stopping
+  /// norm, eps-Nash gap, potential, overall cost, active-set churn and
+  /// utilization spread. The eps-Nash gap shares `certificate_stride`
+  /// with the trace (NaN on strided-off rounds); the other columns are
+  /// O(m·n) per round. Works in all three orders and in class mode
+  /// (rows are then class-level). See docs/OBSERVABILITY.md.
+  obs::ConvergenceProbe* probe = nullptr;
+  /// Optional event journal (not owned, may be null): the dynamics
+  /// registers `dynamics.round` {round, norm} and `dynamics.stop`
+  /// {round, norm, converged, diverged} and emits one round event per
+  /// round plus one stop event at termination — cheap enough to leave
+  /// on anywhere a TraceSink would be too heavy.
+  obs::Journal* journal = nullptr;
 };
 
 /// Outcome of a run of the dynamics.
@@ -133,6 +150,34 @@ struct DynamicsResult {
 /// user's OPTIMAL reply spreads over), wall_seconds (cumulative wall time
 /// since the dynamics started).
 [[nodiscard]] std::vector<std::string> dynamics_trace_columns();
+
+/// Derives one obs::ConvergenceProbe row per round from solver state —
+/// the bridge between the core (which owns the profile, loads and
+/// certificates) and the obs probe (which only stores numbers). The
+/// driver carries the previous round's best-reply supports so it can
+/// report active-set churn; construct it from the starting profile, then
+/// call record_round once per completed round. Shared by the in-memory
+/// dynamics (all orders, class mode) and the distributed ring protocol.
+class ConvergenceProbeDriver {
+ public:
+  /// `start` is the profile the dynamics begins from (class-level in
+  /// class mode); its supports seed the churn baseline, so round 1's
+  /// churn counts movers relative to the initialization.
+  ConvergenceProbeDriver(obs::ConvergenceProbe& probe, const Instance& inst,
+                         const StrategyProfile& start);
+
+  /// Appends the round's row. `loads` are the instance's per-computer
+  /// arrival rates at `s` (e.g. LoadState::loads()); `certificates`
+  /// gates the O(m·n log n) eps-Nash gap (NaN when false or when the
+  /// profile is infeasible, e.g. a diverged Jacobi round).
+  void record_round(const Instance& inst, const StrategyProfile& s,
+                    std::span<const double> loads, std::size_t round,
+                    double norm, bool certificates);
+
+ private:
+  obs::ConvergenceProbe* probe_;
+  std::vector<char> prev_support_;  // m*n row-major support bits
+};
 
 /// Observer invoked after each round with (round index starting at 1,
 /// current profile, round norm). Used by the Figure 2 bench to record the

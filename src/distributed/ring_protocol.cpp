@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cmath>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 
 #include "core/best_reply.hpp"
@@ -37,6 +38,11 @@ struct ProtocolState {
   // nashlb-analyzer: allow(nondeterminism-sources) -- trace-only timing
   std::chrono::steady_clock::time_point wall_start =
       std::chrono::steady_clock::now();
+  // Convergence telemetry (same driver as the in-memory dynamics) and
+  // the round event of the journal, both engaged only when the caller
+  // passes the instruments.
+  std::optional<core::ConvergenceProbeDriver> probe_driver;
+  obs::EventId round_event{};
   RingResult result;
 
   ProtocolState(const core::Instance& instance, const RingOptions& options,
@@ -149,6 +155,16 @@ void close_round(const std::shared_ptr<ProtocolState>& st) {
                                        st->wall_start)
              .count()});
   }
+  if (st->probe_driver) {
+    st->probe_driver->record_round(st->inst, st->profile, st->state.loads(),
+                                   st->round, st->norm, true);
+  }
+  if (obs::kEnabled && st->opts.journal) {
+    st->opts.journal->emit(
+        st->round_event,
+        {static_cast<double>(st->round), st->norm,
+         static_cast<double>(st->result.messages)});
+  }
   if (st->norm <= st->opts.tolerance) {
     st->result.converged = true;
     send_stop(st, 1 % st->inst.num_users());
@@ -202,6 +218,13 @@ RingResult run_ring_protocol(const core::Instance& inst,
 
   auto st = std::make_shared<ProtocolState>(inst, options, std::move(start));
   st->last_times = std::move(initial_times);
+  if (obs::kEnabled && options.probe != nullptr) {
+    st->probe_driver.emplace(*options.probe, inst, st->profile);
+  }
+  if (obs::kEnabled && options.journal != nullptr) {
+    st->round_event = options.journal->register_event(
+        "ring.round", {"round", "norm", "messages"});
+  }
 
   // Kick off round 1 at user 1 (index 0).
   note_compute(st, 0);

@@ -26,6 +26,8 @@
 
 #include "core/dynamics.hpp"
 #include "core/types.hpp"
+#include "obs/convergence.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
@@ -59,6 +61,15 @@ struct RingOptions {
   /// Optional metric registry (not owned, may be null): the protocol
   /// counts messages sent per node under `ring.node.<j>.sent`.
   obs::Registry* metrics = nullptr;
+  /// Optional convergence probe (not owned, may be null): one row per
+  /// round close under the `convergence_trace_columns()` schema, driven
+  /// by the same core::ConvergenceProbeDriver as the in-memory dynamics
+  /// — so a protocol trajectory diffs directly against a dynamics one.
+  obs::ConvergenceProbe* probe = nullptr;
+  /// Optional event journal (not owned, may be null): the protocol
+  /// registers `ring.round` {round, norm, messages} and emits one event
+  /// per round close.
+  obs::Journal* journal = nullptr;
 };
 
 /// Schema of the ring protocol's per-round trace, in column order:

@@ -5,17 +5,18 @@
 #
 #    1. check_docs          README/docs drift                      (~0 s)
 #    2. lint_nashlb         repo-specific rules (python3)          (~0 s)
-#    3. check_analyzer      nashlb-analyzer semantic rules
+#    3. check_report        nashlb_report.py render/diff selftest  (~0 s)
+#    4. check_analyzer      nashlb-analyzer semantic rules
 #                           (SKIP=partial: token engine only, no libclang)
-#    4. check_bench         BENCH_*.json perf baselines  (SKIP if absent)
-#    5. check_format        clang-format check-only      (SKIP if absent)
-#    6. werror_build        full tree, warnings as errors (build-werror/)
-#    7. check_tidy          clang-tidy over that tree    (SKIP if absent)
-#    8. check_gcc_analyzer  GCC -fanalyzer over src/core + src/util
+#    5. check_bench         BENCH_*.json perf baselines  (SKIP if absent)
+#    6. check_format        clang-format check-only      (SKIP if absent)
+#    7. werror_build        full tree, warnings as errors (build-werror/)
+#    8. check_tidy          clang-tidy over that tree    (SKIP if absent)
+#    9. check_gcc_analyzer  GCC -fanalyzer over src/core + src/util
 #                           (SKIP if -fanalyzer unsupported; ~1 min)
-#    9. contract_suite      -DNASHLB_CHECK=ON + full ctest (build-check/)
-#   10. check_sanitize      ASan+UBSan with contracts on   (build-asan/)
-#   11. check_tsan          ThreadSanitizer, parallel layer
+#   10. contract_suite      -DNASHLB_CHECK=ON + full ctest (build-check/)
+#   11. check_sanitize      ASan+UBSan with contracts on   (build-asan/)
+#   12. check_tsan          ThreadSanitizer, parallel layer
 #                           (build-tsan/)     (SKIP if TSan unsupported)
 #
 # Unlike a plain `set -e` chain, every step runs even after a failure —
@@ -79,6 +80,7 @@ all_start=$(date +%s)
 
 run_step check_docs "$root/tools/check_docs.sh" "$root"
 run_step lint_nashlb python3 "$root/tools/lint_nashlb.py" "$root"
+run_step check_report python3 "$root/tools/nashlb_report.py" selftest
 run_step check_analyzer python3 "$root/tools/nashlb_analyzer.py" "$root"
 run_step check_bench python3 "$root/tools/check_bench.py" "$root"
 run_step check_format "$root/tools/check_format.sh" "$root"

@@ -18,15 +18,24 @@ a fresh run regressed past the tolerance:
   * structural fields (kind, m, n, threads, iterations, converged,
     equilibrium_check) must match exactly — a changed iteration count
     means the algorithm changed, which a perf PR must not do silently;
-  * quality floats (max_profile_diff, best_reply_gap, eps_nash_bound)
-    may not grow by more than 10x past an absolute floor of 1e-9 — they
-    are certificate values near zero, so relative comparison alone is
-    meaningless.
+  * quality floats (max_profile_diff, best_reply_gap, eps_nash_bound,
+    final_eps_nash) may not grow by more than 10x past an absolute
+    floor of 1e-9 — they are certificate values near zero, so relative
+    comparison alone is meaningless;
+  * `rounds_to_tol` (BENCH_convergence.json, from the convergence
+    probe) is structural: a different round count at the stopping
+    tolerance means the trajectory changed.
 
-Rows are matched by their (m, n, threads, classes) key (threads absent
-on single-threaded benches like BENCH_scale.json; classes present only
-on the user-class aggregation rows — see docs/SCALING.md); added or
-removed rows fail (the sweep grid is part of the baseline's contract).
+Rows are matched by their (kind, m, n, threads, classes) key (threads
+absent on single-threaded benches like BENCH_scale.json; classes
+present only on the user-class aggregation rows — see docs/SCALING.md);
+added or removed rows fail (the sweep grid is part of the baseline's
+contract).
+
+A top-level "manifest" object (src/obs/manifest.hpp) is provenance,
+not a metric: manifest drift between the baseline and the fresh run is
+reported informationally and never fails the gate — rebuilding with a
+new git sha is exactly how a fresh run is produced.
 
 Every invocation first runs a built-in selftest: it injects a synthetic
 regression into an in-memory copy of the baseline and asserts the
@@ -54,21 +63,24 @@ import sys
 SKIP = 77
 
 TIMING_SUFFIX = "_seconds"
-QUALITY_FIELDS = ("max_profile_diff", "best_reply_gap", "eps_nash_bound")
+QUALITY_FIELDS = ("max_profile_diff", "best_reply_gap", "eps_nash_bound",
+                  "final_eps_nash")
 QUALITY_GROWTH = 10.0
 QUALITY_FLOOR = 1e-9
 EXACT_FIELDS = ("kind", "m", "n", "threads", "iterations", "converged",
-                "equilibrium_check")
+                "equilibrium_check", "rounds_to_tol")
 
 
 def row_key(row):
-    return (row.get("m"), row.get("n"), row.get("threads"),
-            row.get("classes"))
+    return (row.get("kind"), row.get("m"), row.get("n"),
+            row.get("threads"), row.get("classes"))
 
 
 def key_str(key):
-    m, n, threads, classes = key
+    kind, m, n, threads, classes = key
     s = "m=%s n=%s" % (m, n)
+    if kind is not None:
+        s = "kind=%s " % kind + s
     if threads is not None:
         s += " threads=%s" % threads
     if classes is not None:
@@ -151,10 +163,9 @@ def selftest(baseline, tolerance):
             hurt["rows"][-1][field] = val * (1.0 + 2.0 * (tolerance + 1.0))
             injected = True
             break
-    if not injected:
-        return "selftest: no timing field found to perturb"
-    if not compare(baseline, hurt, tolerance):
+    if injected and not compare(baseline, hurt, tolerance):
         return "selftest: injected timing regression was not flagged"
+    perturbed_any = injected
     threads_rows = [r for r in rows if r.get("threads") is not None]
     if threads_rows:
         # Threads-keyed grids: the speedup tolerance is symmetric, so an
@@ -178,8 +189,43 @@ def selftest(baseline, tolerance):
             if not compare(baseline, worse, tolerance):
                 return ("selftest: degraded max_profile_diff on a "
                         "threads-keyed row was not flagged")
+    if threads_rows:
+        perturbed_any = True
+    telemetry_rows = [r for r in rows if "rounds_to_tol" in r]
+    if telemetry_rows:
+        perturbed_any = True
+        # Convergence-telemetry rows (BENCH_convergence.json): the round
+        # count at tolerance is structural ...
+        moved = copy.deepcopy(baseline)
+        for r in moved["rows"]:
+            if "rounds_to_tol" in r:
+                r["rounds_to_tol"] = int(r["rounds_to_tol"]) + 1
+                break
+        if not compare(baseline, moved, tolerance):
+            return ("selftest: changed rounds_to_tol was not flagged as "
+                    "structural")
+        # ... and the final certified gap gates like a quality field.
+        if any("final_eps_nash" in r for r in telemetry_rows):
+            worse = copy.deepcopy(baseline)
+            for r in worse["rows"]:
+                if "final_eps_nash" in r:
+                    r["final_eps_nash"] = 1.0
+                    break
+            if not compare(baseline, worse, tolerance):
+                return ("selftest: degraded final_eps_nash was not "
+                        "flagged")
+    if isinstance(baseline.get("manifest"), dict):
+        # Manifest drift is informational: a baseline whose only change
+        # is provenance (new git sha) must compare clean.
+        restamped = copy.deepcopy(baseline)
+        restamped["manifest"] = dict(restamped["manifest"],
+                                     git_sha="selftest-resha")
+        if compare(baseline, restamped, tolerance):
+            return ("selftest: a manifest-only change failed the gate "
+                    "(manifests are provenance, not metrics)")
     class_rows = [r for r in rows if r.get("classes") is not None]
     if class_rows:
+        perturbed_any = True
         # Class-keyed rows: the classes count is part of the row key, so
         # a changed partition size must surface as a grid change ...
         moved = copy.deepcopy(baseline)
@@ -200,6 +246,10 @@ def selftest(baseline, tolerance):
             if not compare(baseline, worse, tolerance):
                 return ("selftest: degraded eps_nash_bound on a "
                         "class-keyed row was not flagged")
+    if not perturbed_any:
+        return ("selftest: baseline has no perturbable field (timing, "
+                "threads-keyed, telemetry or class rows) — a gate that "
+                "cannot fail proves nothing")
     return None
 
 
@@ -213,11 +263,35 @@ def git_show(root, relpath):
     return out.stdout.decode("utf-8")
 
 
+def manifest_drift(baseline, fresh):
+    """Informational only: which manifest fields changed between runs."""
+    base = baseline.get("manifest")
+    new = fresh.get("manifest")
+    if not isinstance(base, dict) or not isinstance(new, dict):
+        return []
+    drift = []
+    for key in sorted(set(base) | set(new)):
+        if key == "extras":
+            continue
+        if base.get(key) != new.get(key):
+            drift.append("%s %r -> %r" % (key, base.get(key), new.get(key)))
+    for key in sorted(set(base.get("extras") or {})
+                      | set(new.get("extras") or {})):
+        bval = (base.get("extras") or {}).get(key)
+        fval = (new.get("extras") or {}).get(key)
+        if bval != fval:
+            drift.append("extras.%s %r -> %r" % (key, bval, fval))
+    return drift
+
+
 def check_pair(name, baseline, fresh, tolerance):
     failed = selftest(baseline, tolerance)
     if failed:
         print("check_bench: FAIL: %s: %s" % (name, failed), file=sys.stderr)
         return 1
+    for note in manifest_drift(baseline, fresh):
+        print("check_bench: note: %s: manifest %s (provenance only, "
+              "not gated)" % (name, note))
     errors = compare(baseline, fresh, tolerance)
     for e in errors:
         print("check_bench: FAIL: %s: %s" % (name, e), file=sys.stderr)

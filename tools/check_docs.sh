@@ -42,7 +42,9 @@ done
 
 # The observability doc must describe every exported instrument family;
 # new sections guard against the doc silently lagging the obs layer.
-for section in "## Histograms" "## Span tracing" "## Sharded registries"; do
+for section in "## Histograms" "## Span tracing" "## Sharded registries" \
+               "## Event journal" "## Convergence telemetry" \
+               "## Run manifests & nashlb-report"; do
     if [ -f "$root/docs/OBSERVABILITY.md" ] && \
        ! grep -q "^$section" "$root/docs/OBSERVABILITY.md"; then
         fail "docs/OBSERVABILITY.md is missing its \"$section\" section"

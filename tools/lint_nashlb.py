@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo-specific lint rules the generic tools can't see.
 
-Registered as the `lint_nashlb` ctest. Five rules, each encoding a
+Registered as the `lint_nashlb` ctest. Six rules, each encoding a
 convention this repository's performance or observability story depends
 on (see docs/STATIC_ANALYSIS.md):
 
@@ -28,6 +28,16 @@ on (see docs/STATIC_ANALYSIS.md):
       declares columns. The sinks enforce this at runtime, but only on
       instrumented runs — this catches the skew at lint time, before a
       benchmark burns an hour to produce a malformed CSV or span trace.
+
+  journal-arity
+      The event-journal analog of trace-arity: wherever a src/ file
+      registers a journal event schema
+      (`<id> = ...register_event("name", {"f1", ...})`), every
+      `emit(<id>, {...})` in the same file must pass exactly as many
+      values as the schema declares fields. The journal enforces this
+      at runtime (obs::EnabledJournal::emit throws), but a crash dump
+      with silently misaligned fields is worse than none — the whole
+      point of the flight recorder is to be trustworthy post-mortem.
 
   histogram-bounds
       The obs::Histogram bucket layout must be declared
@@ -315,6 +325,66 @@ def check_trace_arity(root, relpath, text, lines):
                    % (call, cells, decl.group(1), columns))
 
 
+JOURNAL_REGISTER_RE = re.compile(r"\bregister_event\s*\(")
+# emit(<id>, {...}) — the id must be a bare identifier directly before
+# the comma, so the journal's own `emit(EventId id, ...)` definition
+# never matches.
+JOURNAL_EMIT_RE = re.compile(r"\bemit\s*\(\s*(\w+)\s*,")
+
+
+def journal_schemas(text):
+    """Maps EventId variable name -> declared field count for every
+    `<var> = ...register_event("name", {"f1", ...})` in a file. Calls
+    without an assignment or without a braced field list (e.g. the
+    journal's own declaration) are skipped."""
+    schemas = {}
+    for m in JOURNAL_REGISTER_RE.finditer(text):
+        arg, _end = parse_balanced(text, text.index("(", m.start()))
+        if arg is None:
+            continue
+        field_list = top_level_brace_list(arg)
+        if field_list is None:
+            continue
+        stmt_start = max(text.rfind(c, 0, m.start()) for c in ";{}")
+        assign = re.search(r"(\w+)\s*=[^=]*$",
+                           text[stmt_start + 1:m.start()])
+        if not assign:
+            continue
+        schemas[assign.group(1)] = len(
+            re.findall(r'"[^"]*"', field_list))
+    return schemas
+
+
+def check_journal_arity(root, relpath, text, lines):
+    schemas = journal_schemas(text)
+    if not schemas:
+        return
+    for m in JOURNAL_EMIT_RE.finditer(text):
+        var = m.group(1)
+        if var not in schemas:
+            continue  # registered elsewhere; the runtime check covers it
+        lineno = text.count("\n", 0, m.start()) + 1
+        if suppressed(lines, lineno - 1, "journal-arity"):
+            continue
+        arg, _end = parse_balanced(text, text.index("(", m.start()))
+        if arg is None:
+            continue
+        value_list = top_level_brace_list(arg)
+        if value_list is None:
+            report(relpath, lineno, "journal-arity",
+                   "emit(%s, ...) does not pass a braced value list; "
+                   "cannot check arity against the registered schema "
+                   "(suppress with a comment if intentional)" % var)
+            continue
+        inner = value_list.strip()[1:-1].strip()
+        cells = 0 if not inner else count_cells(value_list)
+        if cells != schemas[var]:
+            report(relpath, lineno, "journal-arity",
+                   "emit(%s, ...) passes %d values but the registered "
+                   "schema declares %d fields"
+                   % (var, cells, schemas[var]))
+
+
 HISTOGRAM_LAYOUT_HPP = os.path.join("src", "obs", "histogram.hpp")
 HISTOGRAM_BOUNDS_API = ("bucket_count", "bucket_lower_bound",
                         "bucket_upper_bound")
@@ -450,6 +520,36 @@ def selftest():
         return "alloc-in-hot-path selftest: _into variant wrongly matched"
     if count_cells("{a, {b, c}, d}") != 3:
         return "trace-arity selftest: nested cell count wrong"
+    journal_snippet = (
+        '  obs::EventId tick = j.register_event("tick", '
+        '{"round", "norm"});\n'
+        "  j.emit(tick, {1.0, 2.0});\n"
+        "  j.emit(tick, {1.0});\n"
+        "  j.emit(foreign, {1.0});\n")
+    if journal_schemas(journal_snippet) != {"tick": 2}:
+        return ("journal-arity selftest: registration not parsed: %r"
+                % journal_schemas(journal_snippet))
+    journal_errors_before = len(errors)
+    check_journal_arity("", "selftest.cpp", journal_snippet,
+                        journal_snippet.split("\n"))
+    journal_flagged = errors[journal_errors_before:]
+    del errors[journal_errors_before:]
+    if len(journal_flagged) != 1 or "passes 1 values" not in \
+            journal_flagged[0]:
+        return ("journal-arity selftest: expected exactly the 1-value "
+                "emit flagged, got %r" % journal_flagged)
+    journal_ok = (
+        '  obs::EventId tick = j.register_event("tick", {"k"});\n'
+        "  // nashlb-lint: allow(journal-arity)\n"
+        "  j.emit(tick, {1.0, 2.0});\n"
+        "  void emit(EventId id, std::initializer_list<double> v);\n")
+    check_journal_arity("", "selftest.cpp", journal_ok,
+                        journal_ok.split("\n"))
+    if len(errors) != journal_errors_before:
+        journal_flagged = errors[journal_errors_before:]
+        del errors[journal_errors_before:]
+        return ("journal-arity selftest: suppression or the emit "
+                "declaration wrongly flagged: %r" % journal_flagged)
     if not HISTOGRAM_CONST_RE.search("int k = kBucketsPerOctave;"):
         return "histogram-bounds selftest: layout constant not matched"
     return None
@@ -474,6 +574,7 @@ def main():
         lines = text.split("\n")
         check_alloc_in_hot_path(root, relpath, lines)
         check_trace_arity(root, relpath, text, lines)
+        check_journal_arity(root, relpath, text, lines)
         check_histogram_bounds(root, relpath, text, lines)
         check_raw_concurrency(root, relpath, lines)
     check_bench_registered(root)
@@ -482,7 +583,7 @@ def main():
         for e in errors:
             print("lint_nashlb: FAIL: " + e, file=sys.stderr)
         return 1
-    print("lint_nashlb: OK (%d src files, 5 rules)" % len(src_files))
+    print("lint_nashlb: OK (%d src files, 6 rules)" % len(src_files))
     return 0
 
 
